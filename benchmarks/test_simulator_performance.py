@@ -1,0 +1,78 @@
+"""Performance microbenchmarks of the simulation substrate.
+
+Unlike the paper-artefact benches (single pedantic rounds), these are
+true microbenchmarks with repeated rounds: they track the throughput
+of the event engine, the machine model and a full end-to-end workload
+execution, so performance regressions in the substrate are visible.
+"""
+
+from repro.experiments.common import ExperimentConfig, run_workload
+from repro.machine.machine import Machine
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def test_perf_event_engine(benchmark):
+    """Schedule-and-fire throughput of the event loop."""
+
+    def run_events():
+        sim = Simulator()
+        count = 0
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.schedule_after(0.001, tick)
+        sim.schedule_at(0.0, tick)
+        sim.run()
+        return count
+
+    count = benchmark(run_events)
+    assert count == 10_000
+
+
+def test_perf_machine_partitioning(benchmark):
+    """Start/resize/finish churn on a 60-CPU machine."""
+
+    def churn():
+        machine = Machine(60)
+        now = 0.0
+        for round_index in range(50):
+            for job in range(1, 5):
+                machine.start_job(job, f"app{job}", 12, now)
+                now += 1.0
+            for job in range(1, 5):
+                machine.resize_job(job, 6 + (round_index + job) % 8, now)
+                now += 1.0
+            for job in range(1, 5):
+                machine.finish_job(job, now)
+                now += 1.0
+        return machine.free_cpus
+
+    free = benchmark(churn)
+    assert free == 60
+
+
+def test_perf_rng_streams(benchmark):
+    """Named-stream derivation and drawing."""
+
+    def draw():
+        streams = RandomStreams(7)
+        total = 0.0
+        for i in range(200):
+            total += streams.lognormal_factor(f"job:{i % 20}", 0.015)
+        return total
+
+    total = benchmark(draw)
+    assert total > 0
+
+
+def test_perf_full_workload(benchmark):
+    """End-to-end PDPA execution of w3 at 60% load (~30 jobs)."""
+    config = ExperimentConfig(seed=0)
+
+    def run():
+        return run_workload("PDPA", "w3", 0.6, config)
+
+    out = benchmark(run)
+    assert out.result.records

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Coordinated scheduling on a cluster of SMPs (paper §6 extension).
+
+A 4-node cluster (16 CPUs per node) runs a mix of single-node and
+spanning applications under a coordinated PDPA search.  The
+coordinator enforces the §6 co-scheduling property — "each application
+is given resources at the same time on all the nodes" — and the
+performance-driven search keeps working in co-scheduled units.
+
+Run:  python examples/cluster_smp.py
+"""
+
+from repro.apps.catalog import APSI, BT, HYDRO2D
+from repro.cluster import ClusterCoordinator, ClusterSpec
+from repro.metrics.stats import format_table
+from repro.qs.job import Job
+from repro.qs.queuing import NanosQS
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def main() -> None:
+    cluster = ClusterSpec(n_nodes=4, cpus_per_node=16, internode_penalty=0.06)
+    sim = Simulator()
+    coordinator = ClusterCoordinator(sim, cluster, RandomStreams(17))
+
+    # A mixed stream: bt wants 30 CPUs (spans 2 nodes), hydro2d is
+    # medium (spans 2), apsi stays on one node with 2 CPUs.
+    jobs = [
+        Job(1, BT, submit_time=0.0),          # request 30 -> span 2
+        Job(2, APSI, submit_time=2.0),        # request 2  -> span 1
+        Job(3, HYDRO2D, submit_time=4.0),     # request 30 -> span 2
+        Job(4, APSI, submit_time=6.0),
+        Job(5, BT, submit_time=10.0),
+        Job(6, APSI, submit_time=12.0),
+        Job(7, HYDRO2D, submit_time=14.0),
+        Job(8, APSI, submit_time=16.0),
+    ]
+    qs = NanosQS(sim, coordinator, jobs)
+    qs.schedule_submissions()
+    sim.run()
+    coordinator.finalize()
+    assert qs.all_done
+
+    rows = []
+    for job in jobs:
+        placements = [
+            r for r in coordinator.reallocations if r.job_id == job.job_id
+        ]
+        path = " -> ".join(str(r.new_procs) for r in placements)
+        rows.append([
+            job.job_id,
+            job.app_name,
+            job.request,
+            path,
+            round(job.execution_time, 1),
+            round(job.response_time, 1),
+        ])
+    print(format_table(
+        ["job", "app", "request", "co-scheduled allocation path",
+         "exec (s)", "resp (s)"],
+        rows,
+        title=f"cluster of {cluster.n_nodes}x{cluster.cpus_per_node} CPUs "
+              f"under the coordinated PDPA search",
+    ))
+    print()
+    print("Allocation paths show the performance-driven search at work in")
+    print("co-scheduled units: hydro2d sheds processors on *all* of its")
+    print("nodes simultaneously; apsi settles at 2 CPUs on one node; the")
+    print("multiprogramming level follows the freed capacity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Policy shoot-out: the four schedulers on one workload, three loads.
+
+Reproduces the structure of the paper's Figs. 4/6/9/10 for a workload
+of your choice: for each policy and each system load, the average
+response and execution time per application class, averaged over
+seeds.
+
+Run:  python examples/policy_shootout.py [w1|w2|w3|w4]
+"""
+
+import sys
+
+from repro.experiments import workloads
+from repro.experiments.common import ExperimentConfig
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "w3"
+    print(f"Running {workload} under IRIX / Equip / Equal_eff / PDPA "
+          f"at 60/80/100% load (2 seeds each; ~30 simulated runs)...")
+    comparison = workloads.run_comparison(
+        workload,
+        loads=(0.6, 0.8, 1.0),
+        seeds=(0, 1),
+        config=ExperimentConfig(),
+    )
+    print()
+    print(workloads.render(comparison, title=f"[{workload}]"))
+
+    # Headline: who wins on response time at full load?
+    print()
+    apps = comparison.apps()
+    for app in apps:
+        best = min(
+            comparison.policies,
+            key=lambda policy: comparison.data[(policy, 1.0)][app]["response"],
+        )
+        value = comparison.data[(best, 1.0)][app]["response"]
+        print(f"best response time for {app} at 100% load: {best} ({value:.1f} s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — Performance-Driven Processor Allocation (PDPA), reproduced.
+
+A production-quality reproduction of *"Performance-Driven Processor
+Allocation"* (Corbalan, Martorell, Labarta): a coordinated processor
+scheduler for multiprogrammed shared-memory multiprocessors that
+allocates, per application, the largest number of processors able to
+sustain a target efficiency measured at runtime, and adjusts the
+multiprogramming level in coordination with the queuing system.
+
+The paper's hardware testbed (an SGI Origin 2000 running real OpenMP
+codes) is replaced by a deterministic discrete-event simulation of the
+whole NANOS environment; see DESIGN.md for the substitution rationale.
+
+Quick start
+-----------
+>>> from repro import run_workload
+>>> out = run_workload("PDPA", "w3", load=0.6)
+>>> out.result.summary("apsi").mean_response_time > 0
+True
+
+Public surface
+--------------
+* :mod:`repro.core` — the PDPA policy (states, parameters, MPL policy).
+* :mod:`repro.rm` — the resource manager and baseline policies.
+* :mod:`repro.qs` — queuing system, workload generator, SWF traces.
+* :mod:`repro.apps` — the calibrated application catalog (Fig. 3).
+* :mod:`repro.machine` — the CC-NUMA machine model.
+* :mod:`repro.runtime` — NthLib and the SelfAnalyzer.
+* :mod:`repro.metrics` — Paraver-style analyses and result tables.
+* :mod:`repro.experiments` — one harness per table/figure.
+"""
+
+from repro.apps import APP_CATALOG, APSI, BT, HYDRO2D, SWIM, get_app
+from repro.core import PDPA, AppState, PDPAParams
+from repro.experiments import ExperimentConfig, RunOutput, run_jobs, run_workload
+from repro.metrics import WorkloadResult
+from repro.qs import TABLE1_MIXES, Job, generate_workload
+from repro.rm import Equipartition, EqualEfficiency, IrixResourceManager
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APP_CATALOG",
+    "SWIM",
+    "BT",
+    "HYDRO2D",
+    "APSI",
+    "get_app",
+    "PDPA",
+    "AppState",
+    "PDPAParams",
+    "Equipartition",
+    "EqualEfficiency",
+    "IrixResourceManager",
+    "Job",
+    "TABLE1_MIXES",
+    "generate_workload",
+    "ExperimentConfig",
+    "RunOutput",
+    "run_jobs",
+    "run_workload",
+    "WorkloadResult",
+    "__version__",
+]

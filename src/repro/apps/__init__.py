@@ -1,0 +1,50 @@
+"""Application models.
+
+The paper's evaluation uses four OpenMP applications that cover the
+spectrum of scalability (Fig. 3):
+
+* ``swim``     — superlinear speedup (SpecFP95),
+* ``bt.A``     — good scalability (NAS Parallel Benchmarks),
+* ``hydro2d``  — medium scalability (SpecFP95),
+* ``apsi``     — does not scale at all (SpecFP95).
+
+We model each as a *malleable iterative application*: a sequential
+startup phase, ``iterations`` executions of an iterative parallel
+region whose duration is governed by a calibrated speedup curve, and a
+sequential teardown phase.  This is exactly the application structure
+the NANOS SelfAnalyzer exploits.
+"""
+
+from repro.apps.application import AppClass, ApplicationSpec, IterativeApplication
+from repro.apps.catalog import (
+    APP_CATALOG,
+    APSI,
+    BT,
+    HYDRO2D,
+    SWIM,
+    get_app,
+    scaled_spec,
+)
+from repro.apps.speedup import (
+    AmdahlSpeedup,
+    DegradingSpeedup,
+    SpeedupCurve,
+    TabulatedSpeedup,
+)
+
+__all__ = [
+    "AppClass",
+    "ApplicationSpec",
+    "IterativeApplication",
+    "SpeedupCurve",
+    "AmdahlSpeedup",
+    "DegradingSpeedup",
+    "TabulatedSpeedup",
+    "APP_CATALOG",
+    "SWIM",
+    "BT",
+    "HYDRO2D",
+    "APSI",
+    "get_app",
+    "scaled_spec",
+]

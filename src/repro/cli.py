@@ -1,0 +1,219 @@
+"""Command-line interface: ``pdpa-sim`` / ``python -m repro``.
+
+Subcommands map one-to-one onto the experiment harnesses:
+
+* ``speedups``  — Fig. 3 speedup curves of the application catalog.
+* ``run``       — one workload under one policy, with summary tables.
+* ``compare``   — a figure-style comparison (Figs. 4/6/9/10).
+* ``view``      — Fig. 5 execution views (IRIX vs PDPA).
+* ``table2``    — burst/migration statistics.
+* ``mpl``       — Fig. 8 dynamic multiprogramming level plot.
+* ``tables``    — Tables 1, 3 and 4.
+* ``swf``       — generate a workload and print it in SWF format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import fig3, fig5_table2, fig7_fig8, tables, workloads
+from repro.experiments.common import POLICY_NAMES, ExperimentConfig, run_workload
+from repro.metrics.stats import format_table
+from repro.qs.swf import jobs_to_swf, write_swf
+from repro.qs.workload import TABLE1_MIXES, generate_workload
+from repro.sim.rng import RandomStreams
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="pdpa-sim",
+        description=(
+            "Reproduction of Performance-Driven Processor Allocation: "
+            "simulate parallel workloads under PDPA, Equipartition, "
+            "Equal_efficiency and the native IRIX scheduler."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument("--cpus", type=int, default=60, help="machine size (default 60)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("speedups", help="print the Fig. 3 speedup curves")
+
+    p_run = sub.add_parser("run", help="run one workload under one policy")
+    p_run.add_argument("policy", choices=POLICY_NAMES)
+    p_run.add_argument("workload", choices=sorted(TABLE1_MIXES))
+    p_run.add_argument("--load", type=float, default=1.0, help="load fraction (0.6/0.8/1.0)")
+    p_run.add_argument("--mpl", type=int, default=4, help="(base) multiprogramming level")
+    p_run.add_argument("--prv", metavar="FILE",
+                       help="export the execution trace in Paraver format")
+
+    p_cmp = sub.add_parser("compare", help="figure-style policy comparison")
+    p_cmp.add_argument("workload", choices=sorted(TABLE1_MIXES))
+    p_cmp.add_argument("--loads", type=float, nargs="+", default=[0.6, 0.8, 1.0])
+    p_cmp.add_argument("--policies", nargs="+", default=list(POLICY_NAMES),
+                       choices=POLICY_NAMES)
+    p_cmp.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+
+    p_view = sub.add_parser("view", help="Fig. 5 execution views (w1, 100%)")
+    p_view.add_argument("--width", type=int, default=100)
+
+    sub.add_parser("table2", help="Table 2 burst/migration statistics")
+
+    p_mpl = sub.add_parser("mpl", help="Fig. 8 dynamic multiprogramming level")
+    p_mpl.add_argument("--workload", choices=sorted(TABLE1_MIXES), default="w2")
+    p_mpl.add_argument("--load", type=float, default=1.0)
+
+    sub.add_parser("tables", help="Tables 1, 3 and 4")
+
+    p_abl = sub.add_parser("ablations", help="run the PDPA design-choice ablations")
+    p_abl.add_argument("--workload", choices=sorted(TABLE1_MIXES), default="w3")
+    p_abl.add_argument("--load", type=float, default=1.0)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate every table/figure into a markdown report"
+    )
+    p_report.add_argument("--output", metavar="FILE",
+                          help="write the report here (default: stdout)")
+    p_report.add_argument("--quick", action="store_true",
+                          help="single seed, no ablations (faster)")
+
+    p_swf = sub.add_parser("swf", help="generate a workload trace in SWF format")
+    p_swf.add_argument("workload", choices=sorted(TABLE1_MIXES))
+    p_swf.add_argument("--load", type=float, default=1.0)
+    return parser
+
+
+def _config(args: argparse.Namespace, mpl: Optional[int] = None) -> ExperimentConfig:
+    config = ExperimentConfig(seed=args.seed, n_cpus=args.cpus)
+    if mpl is not None:
+        config = config.with_mpl(mpl)
+    return config
+
+
+def cmd_run(args: argparse.Namespace) -> str:
+    """Execute one workload run and format its summaries."""
+    config = _config(args, mpl=args.mpl)
+    out = run_workload(args.policy, args.workload, args.load, config)
+    result = out.result
+    rows = []
+    for app, summary in sorted(result.by_app().items()):
+        rows.append([
+            app, summary.count,
+            round(summary.mean_response_time, 1),
+            round(summary.mean_execution_time, 1),
+            round(summary.mean_wait_time, 1),
+        ])
+    table = format_table(
+        ["app", "jobs", "mean resp (s)", "mean exec (s)", "mean wait (s)"],
+        rows,
+        title=(
+            f"{args.policy} on {args.workload} at load "
+            f"{int(args.load * 100)}% (seed {args.seed})"
+        ),
+    )
+    footer = (
+        f"makespan {result.makespan:.1f}s  workload-exec {result.total_execution_time:.1f}s  "
+        f"max-mpl {result.max_mpl}  reallocations {result.reallocations}  "
+        f"migrations {result.migrations}  utilization {result.cpu_utilization:.0%}"
+    )
+    if getattr(args, "prv", None):
+        from repro.metrics.prv import export_prv
+
+        with open(args.prv, "w", encoding="utf-8") as handle:
+            handle.write(export_prv(out.trace, title=f"{args.policy}-{args.workload}"))
+        footer += f"\nParaver trace written to {args.prv}"
+    return table + "\n" + footer
+
+
+def cmd_compare(args: argparse.Namespace) -> str:
+    """Run the Figs. 4/6/9/10-style comparison."""
+    comparison = workloads.run_comparison(
+        args.workload,
+        loads=args.loads,
+        policies=args.policies,
+        seeds=args.seeds,
+        config=_config(args),
+    )
+    return workloads.render(comparison, title=f"[{args.workload}]")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "speedups":
+        print(fig3.render())
+    elif args.command == "run":
+        print(cmd_run(args))
+    elif args.command == "compare":
+        print(cmd_compare(args))
+    elif args.command == "view":
+        result = fig5_table2.run(config=_config(args))
+        print(fig5_table2.render_fig5(result, width=args.width))
+    elif args.command == "table2":
+        result = fig5_table2.run(config=_config(args))
+        print(fig5_table2.render_table2(result))
+    elif args.command == "mpl":
+        timeline = fig7_fig8.run_fig8(args.workload, args.load, _config(args))
+        print(fig7_fig8.render_fig8(timeline))
+    elif args.command == "tables":
+        print(tables.render_table1())
+        print()
+        print(tables.render_table3(tables.run_table3(_config(args))))
+        print()
+        print(tables.render_table4(tables.run_table4(_config(args))))
+    elif args.command == "report":
+        from repro.experiments.report import generate_report
+
+        text = generate_report(
+            config=_config(args),
+            seeds=(args.seed,) if args.quick else (args.seed, args.seed + 1),
+            include_ablations=not args.quick,
+            progress=args.output is not None,
+        )
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"report written to {args.output}")
+        else:
+            print(text)
+    elif args.command == "ablations":
+        from repro.experiments import ablations
+
+        rows = ablations.run_coordination_ablation(
+            args.workload, args.load, _config(args)
+        )
+        print(ablations.render_rows(
+            rows, f"Coordination ablation — {args.workload}, "
+                  f"load {int(args.load * 100)}%"
+        ))
+        sweep = ablations.run_noise_sweep(config=_config(args))
+        print()
+        print(format_table(
+            ["noise sigma", "PDPA reallocs", "Equal_eff reallocs"],
+            [[s, p, e] for s, p, e in sweep],
+            title="Measurement-noise sensitivity (w2, 100%)",
+        ))
+    elif args.command == "swf":
+        jobs = generate_workload(
+            TABLE1_MIXES[args.workload],
+            args.load,
+            n_cpus=args.cpus,
+            streams=RandomStreams(args.seed).spawn("workload"),
+        )
+        records = jobs_to_swf(jobs)
+        print(write_swf(records, header={
+            "Workload": args.workload,
+            "Load": f"{args.load:.2f}",
+            "MaxProcs": str(args.cpus),
+            "Generator": "repro (PDPA reproduction)",
+        }), end="")
+    else:  # pragma: no cover - argparse enforces choices
+        raise SystemExit(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

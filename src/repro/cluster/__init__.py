@@ -1,0 +1,35 @@
+"""Clusters of SMPs (paper §6, second direction).
+
+"We are also extending this work to run on clusters of SMP's, where
+the resources are physically distributed.  We think that adding
+cooperation between the scheduling policies running on the different
+machines, we can control enough the scheduling of the physical
+processors, so that each application is given resources at the same
+time on all the nodes."
+
+This package implements that extension on top of the existing
+substrate:
+
+* :class:`~repro.cluster.topology.ClusterSpec` — N nodes of M CPUs;
+* :class:`~repro.cluster.coordinator.ClusterCoordinator` — one
+  machine model per node plus a cooperative allocation layer that
+  **co-schedules**: a distributed application always holds the *same*
+  number of processors on every node it spans, and allocation changes
+  are applied to all its nodes at the same simulated instant;
+* a PDPA-style search in units of per-node processors, so the target
+  efficiency continues to govern allocations cluster-wide.
+"""
+
+from repro.cluster.topology import ClusterSpec
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    ClusterJobState,
+    default_span,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "ClusterCoordinator",
+    "ClusterJobState",
+    "default_span",
+]

@@ -1,0 +1,273 @@
+"""Cooperative scheduling across the nodes of a cluster of SMPs.
+
+The coordinator owns one machine model per node and runs a PDPA-style
+performance-driven search for every distributed application, under the
+co-scheduling invariant the paper's §6 asks for: an application holds
+the *same* number of processors on every node it spans, and every
+allocation change is applied to all of its nodes at the same simulated
+instant ("each application is given resources at the same time on all
+the nodes").
+
+Applications spanning several nodes pay an interconnect penalty (their
+shared-memory speedup curve is scaled by
+:meth:`~repro.cluster.topology.ClusterSpec.span_factor`), so the
+coordinator places each job on the fewest nodes its request needs,
+preferring the emptiest nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.topology import ClusterSpec
+from repro.core.params import PDPAParams
+from repro.core.states import AppState, PdpaJobState, evaluate_transition
+from repro.machine.machine import Machine
+from repro.metrics.trace import ReallocationRecord, TraceRecorder
+from repro.qs.job import Job
+from repro.runtime.nthlib import NthLibRuntime, RuntimeConfig, RuntimeHost
+from repro.runtime.selfanalyzer import PerformanceReport
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+class ClusterJobState:
+    """Placement and search state of one distributed job."""
+
+    def __init__(self, job: Job, nodes: List[int], per_node: int) -> None:
+        self.job = job
+        self.nodes = list(nodes)
+        self.per_node = per_node
+        assert job.request is not None
+        self.pdpa = PdpaJobState(
+            job_id=job.job_id,
+            request=job.request,
+            allocation=per_node * len(nodes),
+            state=AppState.NO_REF if job.spec.malleable else AppState.STABLE,
+        )
+
+    @property
+    def span(self) -> int:
+        """Number of nodes the job spans."""
+        return len(self.nodes)
+
+    @property
+    def total_cpus(self) -> int:
+        """Co-scheduled processors across all spanned nodes."""
+        return self.per_node * self.span
+
+
+def default_span(job: Job, cluster: ClusterSpec) -> int:
+    """Fewest nodes able to host the request (bounded by the cluster)."""
+    assert job.request is not None
+    return min(
+        max(1, math.ceil(job.request / cluster.cpus_per_node)),
+        cluster.n_nodes,
+    )
+
+
+class ClusterCoordinator(RuntimeHost):
+    """PDPA-style coordinated scheduler for a cluster of SMPs.
+
+    Exposes the same surface the queuing system expects from a
+    resource manager (``can_admit`` / ``start_job`` / callbacks), so
+    :class:`~repro.qs.queuing.NanosQS` drives it unchanged.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: ClusterSpec,
+        streams: RandomStreams,
+        params: Optional[PDPAParams] = None,
+        runtime_config: Optional[RuntimeConfig] = None,
+        span_of: Optional[Callable[[Job], int]] = None,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.streams = streams
+        self.params = params or PDPAParams()
+        self.runtime_config = runtime_config or RuntimeConfig()
+        self._span_of = span_of or (lambda job: default_span(job, cluster))
+        self.traces: List[TraceRecorder] = [
+            TraceRecorder(cluster.cpus_per_node) for _ in range(cluster.n_nodes)
+        ]
+        self.machines: List[Machine] = [
+            Machine(cluster.cpus_per_node, trace=self.traces[i])
+            for i in range(cluster.n_nodes)
+        ]
+        self.jobs: Dict[int, Job] = {}
+        self.states: Dict[int, ClusterJobState] = {}
+        self.runtimes: Dict[int, NthLibRuntime] = {}
+        self.reallocation_count = 0
+        self.reallocations: List[ReallocationRecord] = []
+        self.on_state_change: Callable[[], None] = lambda: None
+        self.on_job_finished: Callable[[Job], None] = lambda job: None
+
+    # ------------------------------------------------------------------
+    # cluster-wide queries
+    # ------------------------------------------------------------------
+    @property
+    def running_count(self) -> int:
+        """Jobs currently executing anywhere on the cluster."""
+        return len(self.jobs)
+
+    def free_cpus_per_node(self) -> List[int]:
+        """Free processors on each node."""
+        return [machine.free_cpus for machine in self.machines]
+
+    @property
+    def total_free_cpus(self) -> int:
+        """Free processors cluster-wide."""
+        return sum(self.free_cpus_per_node())
+
+    def growth_room(self, state: ClusterJobState) -> int:
+        """Co-scheduled CPUs the job could still gain.
+
+        Growth must land on *every* spanned node simultaneously, so it
+        is limited by the tightest node.
+        """
+        tightest = min(self.machines[node].free_cpus for node in state.nodes)
+        return tightest * state.span
+
+    # ------------------------------------------------------------------
+    # admission (coordinated multiprogramming level, §4.3 semantics)
+    # ------------------------------------------------------------------
+    def can_admit(self, queued_jobs: int, head_request: Optional[int] = None) -> bool:
+        if queued_jobs <= 0:
+            return False
+        free = self.free_cpus_per_node()
+        # A spanning job needs one free processor on each node of its
+        # span; without knowing the head job, require one free node.
+        if head_request is None:
+            span_needed = 1
+        else:
+            span_needed = min(
+                max(1, math.ceil(head_request / self.cluster.cpus_per_node)),
+                self.cluster.n_nodes,
+            )
+        if sum(1 for f in free if f >= 1) < span_needed:
+            return False
+        if self.running_count < self.params.base_mpl:
+            return True
+        return all(state.pdpa.is_settled for state in self.states.values())
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def _place(self, job: Job) -> Optional[ClusterJobState]:
+        """Choose nodes and the initial co-scheduled allocation."""
+        assert job.request is not None
+        span = max(1, min(self._span_of(job), self.cluster.n_nodes))
+        free = self.free_cpus_per_node()
+        # Emptiest nodes first; stable tie-break by node id.
+        candidates = sorted(range(len(free)), key=lambda n: (-free[n], n))
+        nodes = candidates[:span]
+        tightest = min(free[node] for node in nodes)
+        if tightest < 1:
+            return None
+        per_node_request = max(1, job.request // span)
+        per_node = min(per_node_request, tightest)
+        return ClusterJobState(job, nodes, per_node)
+
+    def start_job(self, job: Job) -> None:
+        """Admit a job: co-allocate its slices and start its runtime."""
+        placement = self._place(job)
+        if placement is None:
+            raise RuntimeError(
+                f"job {job.job_id}: no node has a free processor"
+            )
+        job.mark_started(self.sim.now)
+        for node in placement.nodes:
+            self.machines[node].start_job(
+                job.job_id, job.app_name, placement.per_node, self.sim.now
+            )
+        self.jobs[job.job_id] = job
+        self.states[job.job_id] = placement
+        self._record(job, 0, placement.total_cpus)
+        runtime = NthLibRuntime(self.sim, job, self, self.streams, self.runtime_config)
+        self.runtimes[job.job_id] = runtime
+        runtime.start()
+        self.on_state_change()
+
+    # ------------------------------------------------------------------
+    # RuntimeHost interface
+    # ------------------------------------------------------------------
+    def current_allocation(self, job: Job) -> int:
+        return self.states[job.job_id].total_cpus
+
+    def iteration_speed_procs(self, job: Job, nominal_procs: int) -> float:
+        return float(nominal_procs)
+
+    def iteration_speedup(self, job: Job, nominal_procs: int) -> float:
+        state = self.states[job.job_id]
+        base = job.spec.speedup_model.speedup(nominal_procs)
+        return base * self.cluster.span_factor(state.span)
+
+    def deliver_report(self, job: Job, report: PerformanceReport) -> None:
+        """Run the performance-driven search in co-scheduled units."""
+        state = self.states[job.job_id]
+        if not job.spec.malleable:
+            return
+        if report.procs != state.total_cpus:
+            return  # stale measurement
+        transition = evaluate_transition(
+            state.pdpa, report.speedup, report.procs, self.params,
+            self.growth_room(state),
+        )
+        was_stable = state.pdpa.state is AppState.STABLE
+        if was_stable and transition.next_state is not AppState.STABLE:
+            state.pdpa.stable_exits += 1
+        # Round to the co-scheduling grain: equal slices per node.
+        per_node = max(1, transition.next_allocation // state.span)
+        new_total = per_node * state.span
+        state.pdpa.remember(
+            report.time, transition.next_state, new_total, report.speedup,
+            resource_limited=transition.resource_limited,
+        )
+        if per_node != state.per_node:
+            old_total = state.total_cpus
+            for node in state.nodes:
+                self.machines[node].resize_job(job.job_id, per_node, self.sim.now)
+            state.per_node = per_node
+            self._record(job, old_total, new_total)
+        self.on_state_change()
+
+    def job_completed(self, job: Job) -> None:
+        job.mark_finished(self.sim.now)
+        state = self.states.pop(job.job_id)
+        for node in state.nodes:
+            self.machines[node].finish_job(job.job_id, self.sim.now)
+        del self.jobs[job.job_id]
+        del self.runtimes[job.job_id]
+        self.on_job_finished(job)
+        self.on_state_change()
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _record(self, job: Job, old_total: int, new_total: int) -> None:
+        if old_total == new_total:
+            return
+        self.reallocation_count += 1
+        self.reallocations.append(
+            ReallocationRecord(self.sim.now, job.job_id, job.app_name,
+                               old_total, new_total)
+        )
+
+    def finalize(self) -> None:
+        """Flush all per-node traces at the end of a run."""
+        for machine in self.machines:
+            machine.finalize(self.sim.now)
+
+    def co_scheduling_holds(self) -> bool:
+        """Invariant: equal slices on every node a job spans."""
+        for state in self.states.values():
+            sizes = {
+                self.machines[node].allocation_of(state.job.job_id)
+                for node in state.nodes
+            }
+            if sizes != {state.per_node}:
+                return False
+        return True

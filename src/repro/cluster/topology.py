@@ -1,0 +1,51 @@
+"""Cluster shape: homogeneous nodes of SMPs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster.
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of SMP nodes.
+    cpus_per_node:
+        Processors per node.
+    internode_penalty:
+        Fractional per-extra-node slowdown of a distributed
+        application (message passing over the interconnect instead of
+        shared memory).  An application spanning ``k`` nodes runs at
+        ``1 / (1 + internode_penalty * (k - 1))`` of its shared-memory
+        speed.
+    """
+
+    n_nodes: int = 4
+    cpus_per_node: int = 16
+    internode_penalty: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.cpus_per_node < 1:
+            raise ValueError(f"cpus_per_node must be >= 1, got {self.cpus_per_node}")
+        if self.internode_penalty < 0:
+            raise ValueError(
+                f"internode_penalty must be >= 0, got {self.internode_penalty}"
+            )
+
+    @property
+    def total_cpus(self) -> int:
+        """Processors in the whole cluster."""
+        return self.n_nodes * self.cpus_per_node
+
+    def span_factor(self, n_nodes_spanned: int) -> float:
+        """Speed factor of an application spanning that many nodes."""
+        if not 1 <= n_nodes_spanned <= self.n_nodes:
+            raise ValueError(
+                f"span must be in [1, {self.n_nodes}], got {n_nodes_spanned}"
+            )
+        return 1.0 / (1.0 + self.internode_penalty * (n_nodes_spanned - 1))

@@ -1,0 +1,260 @@
+"""Shared experiment runner.
+
+Runs one workload trace under one scheduling policy on a fresh
+simulated machine and returns a :class:`~repro.metrics.stats.WorkloadResult`
+plus the raw trace for deeper analyses (execution views, MPL
+timelines, burst statistics).
+
+The four policy names match the paper's evaluation: ``IRIX``,
+``Equip``, ``Equal_eff`` and ``PDPA``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.params import PDPAParams
+from repro.core.pdpa import PDPA
+from repro.machine.machine import Machine
+from repro.machine.memory import LocalityConfig, LocalityModel
+from repro.metrics.paraver import burst_statistics, max_mpl
+from repro.metrics.stats import JobRecord, WorkloadResult
+from repro.metrics.trace import TraceRecorder
+from repro.qs.job import Job
+from repro.qs.queuing import NanosQS
+from repro.qs.workload import TABLE1_MIXES, WorkloadMix, generate_workload
+from repro.rm.base import SchedulingPolicy
+from repro.rm.equal_efficiency import EqualEfficiency
+from repro.rm.equipartition import Equipartition
+from repro.rm.irix import IrixConfig, IrixResourceManager
+from repro.rm.manager import BaseResourceManager, SpaceSharedResourceManager
+from repro.runtime.nthlib import RuntimeConfig
+from repro.runtime.selfanalyzer import SelfAnalyzerConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+#: The four policies of the paper's evaluation.
+POLICY_NAMES = ("IRIX", "Equip", "Equal_eff", "PDPA")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to reproduce one run.
+
+    Attributes
+    ----------
+    n_cpus:
+        Machine size (the paper uses 60 of the Origin 2000's 64).
+    duration:
+        Submission window of the workload generator.
+    seed:
+        Master seed: fixes submission times and all noise.
+    mpl:
+        Fixed multiprogramming level for IRIX / Equip / Equal_eff, and
+        PDPA's default (base) level.
+    pdpa:
+        PDPA parameters (target 0.7, high 0.9 as in the evaluation).
+    noise_sigma:
+        Per-iteration execution jitter.
+    analyzer:
+        SelfAnalyzer configuration.
+    irix:
+        IRIX model calibration.
+    locality:
+        Memory-locality (page migration) model for space-shared runs;
+        ``None`` disables it.
+    max_events:
+        Event-count safety valve for the simulator.
+    """
+
+    n_cpus: int = 60
+    duration: float = 300.0
+    seed: int = 0
+    mpl: int = 4
+    pdpa: PDPAParams = field(default_factory=PDPAParams)
+    noise_sigma: float = 0.015
+    analyzer: SelfAnalyzerConfig = field(default_factory=SelfAnalyzerConfig)
+    irix: IrixConfig = field(default_factory=IrixConfig)
+    locality: Optional[LocalityConfig] = field(default_factory=LocalityConfig)
+    max_events: int = 2_000_000
+
+    def runtime_config(self) -> RuntimeConfig:
+        """NthLib configuration derived from this experiment config."""
+        return RuntimeConfig(noise_sigma=self.noise_sigma, analyzer=self.analyzer)
+
+    def locality_model(self) -> Optional[LocalityModel]:
+        """A fresh locality model, or ``None`` when disabled."""
+        if self.locality is None:
+            return None
+        return LocalityModel(self.locality)
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        """Copy with a different master seed."""
+        return replace(self, seed=seed)
+
+    def with_mpl(self, mpl: int) -> "ExperimentConfig":
+        """Copy with a different (fixed/base) multiprogramming level."""
+        return replace(self, mpl=mpl, pdpa=replace(self.pdpa, base_mpl=mpl))
+
+
+@dataclass
+class RunOutput:
+    """Result of one workload execution plus the raw artefacts."""
+
+    result: WorkloadResult
+    trace: TraceRecorder
+    rm: BaseResourceManager
+    jobs: List[Job]
+
+
+def make_space_policy(name: str, config: ExperimentConfig) -> SchedulingPolicy:
+    """Instantiate a space-sharing policy by paper name."""
+    if name == "Equip":
+        return Equipartition(mpl=config.mpl)
+    if name == "Equal_eff":
+        return EqualEfficiency(mpl=config.mpl)
+    if name == "PDPA":
+        params = replace(config.pdpa, base_mpl=min(config.pdpa.base_mpl, config.mpl))
+        return PDPA(params)
+    raise ValueError(f"unknown space-sharing policy {name!r}; IRIX is time-shared")
+
+
+def run_jobs(
+    policy_name: str,
+    jobs: Sequence[Job],
+    config: Optional[ExperimentConfig] = None,
+    load: float = 0.0,
+) -> RunOutput:
+    """Execute a job list under one policy and collect all metrics."""
+    config = config or ExperimentConfig()
+    if policy_name not in POLICY_NAMES:
+        raise ValueError(f"unknown policy {policy_name!r}; expected one of {POLICY_NAMES}")
+    sim = Simulator()
+    streams = RandomStreams(config.seed)
+    trace = TraceRecorder(config.n_cpus)
+    runtime_config = config.runtime_config()
+
+    rm: BaseResourceManager
+    if policy_name == "IRIX":
+        irix = replace(config.irix, mpl=config.mpl)
+        rm = IrixResourceManager(
+            sim, config.n_cpus, streams, trace, irix, runtime_config
+        )
+    else:
+        machine = Machine(config.n_cpus, trace=trace)
+        policy = make_space_policy(policy_name, config)
+        rm = SpaceSharedResourceManager(
+            sim, machine, policy, streams, trace, runtime_config,
+            locality=config.locality_model(),
+        )
+
+    return _execute(policy_name, rm, sim, trace, jobs, config, load)
+
+
+def run_jobs_with_policy(
+    policy: SchedulingPolicy,
+    jobs: Sequence[Job],
+    config: Optional[ExperimentConfig] = None,
+    load: float = 0.0,
+) -> RunOutput:
+    """Execute a job list under a caller-supplied policy instance.
+
+    Useful for ablations and extensions: any
+    :class:`~repro.rm.base.SchedulingPolicy` subclass plugs in.
+    """
+    config = config or ExperimentConfig()
+    sim = Simulator()
+    streams = RandomStreams(config.seed)
+    trace = TraceRecorder(config.n_cpus)
+    machine = Machine(config.n_cpus, trace=trace)
+    rm = SpaceSharedResourceManager(
+        sim, machine, policy, streams, trace, config.runtime_config(),
+        locality=config.locality_model(),
+    )
+    return _execute(policy.name, rm, sim, trace, jobs, config, load)
+
+
+def _execute(
+    policy_name: str,
+    rm: BaseResourceManager,
+    sim: Simulator,
+    trace: TraceRecorder,
+    jobs: Sequence[Job],
+    config: ExperimentConfig,
+    load: float,
+) -> RunOutput:
+    """Drive one workload to completion and collect every metric."""
+    qs = NanosQS(sim, rm, list(jobs), trace)
+    qs.schedule_submissions()
+    sim.run(max_events=config.max_events)
+    if not qs.all_done:
+        unfinished = [job.job_id for job in qs.unfinished_jobs()]
+        raise RuntimeError(
+            f"{policy_name}: workload did not complete; unfinished jobs {unfinished}"
+        )
+    rm.finalize()
+
+    records = [JobRecord.from_job(job) for job in jobs]
+    stats = burst_statistics(trace)
+    makespan = max((r.end_time for r in records), default=0.0)
+    result = WorkloadResult(
+        policy=policy_name,
+        load=load,
+        records=records,
+        makespan=makespan,
+        migrations=stats.migrations,
+        avg_burst_time=stats.avg_burst_time,
+        avg_bursts_per_cpu=stats.avg_bursts_per_cpu,
+        reallocations=rm.reallocation_count,
+        max_mpl=max_mpl(trace),
+        cpu_utilization=trace.cpu_utilization(makespan),
+    )
+    return RunOutput(result=result, trace=trace, rm=rm, jobs=list(jobs))
+
+
+def run_workload(
+    policy_name: str,
+    workload: str | WorkloadMix,
+    load: float,
+    config: Optional[ExperimentConfig] = None,
+    request_overrides: Optional[Mapping[str, int]] = None,
+) -> RunOutput:
+    """Generate a Table 1 workload and execute it under one policy."""
+    config = config or ExperimentConfig()
+    mix = TABLE1_MIXES[workload] if isinstance(workload, str) else workload
+    jobs = generate_workload(
+        mix,
+        load,
+        n_cpus=config.n_cpus,
+        duration=config.duration,
+        streams=RandomStreams(config.seed).spawn("workload"),
+        request_overrides=request_overrides,
+    )
+    return run_jobs(policy_name, jobs, config, load=load)
+
+
+def average_results(results: Sequence[WorkloadResult]) -> Dict[str, Dict[str, float]]:
+    """Average per-application response/execution times across seeds.
+
+    Returns ``{app_name: {"response": mean, "execution": mean}}``,
+    weighting each run's per-app mean equally (the paper averages per
+    workload execution).
+    """
+    if not results:
+        raise ValueError("need at least one result")
+    sums: Dict[str, Dict[str, float]] = {}
+    counts: Dict[str, int] = {}
+    for result in results:
+        for app, summary in result.by_app().items():
+            entry = sums.setdefault(app, {"response": 0.0, "execution": 0.0})
+            entry["response"] += summary.mean_response_time
+            entry["execution"] += summary.mean_execution_time
+            counts[app] = counts.get(app, 0) + 1
+    return {
+        app: {
+            "response": entry["response"] / counts[app],
+            "execution": entry["execution"] / counts[app],
+        }
+        for app, entry in sums.items()
+    }

@@ -1,0 +1,87 @@
+"""Fig. 5 (execution views) and Table 2 (burst statistics).
+
+Both come from the same experiment: workload 1 at 100% load, traced
+per CPU.  Fig. 5 contrasts the "chaotic" look of the native IRIX
+execution with the stable partitions under PDPA; Table 2 quantifies it
+via kernel-thread migrations, average burst duration and bursts per
+CPU for IRIX, PDPA and Equipartition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.common import ExperimentConfig, RunOutput, run_workload
+from repro.metrics.paraver import BurstStatistics, burst_statistics, execution_view
+from repro.metrics.stats import format_table
+
+#: Policies compared in Table 2, in the paper's row order.
+TABLE2_POLICIES = ("IRIX", "PDPA", "Equip")
+
+
+@dataclass
+class Fig5Table2Result:
+    """Outputs of the shared w1/100% traced experiment."""
+
+    outputs: Dict[str, RunOutput]
+
+    def burst_stats(self) -> Dict[str, BurstStatistics]:
+        """Table 2 metrics per policy."""
+        return {
+            name: burst_statistics(out.trace) for name, out in self.outputs.items()
+        }
+
+    def view(self, policy: str, width: int = 100,
+             cpus: Optional[Sequence[int]] = None) -> str:
+        """Fig. 5 execution view for one policy."""
+        return execution_view(self.outputs[policy].trace, width=width, cpus=cpus)
+
+
+def run(
+    policies: Tuple[str, ...] = TABLE2_POLICIES,
+    load: float = 1.0,
+    config: Optional[ExperimentConfig] = None,
+) -> Fig5Table2Result:
+    """Execute workload 1 under each policy with full tracing."""
+    config = config or ExperimentConfig()
+    outputs = {
+        policy: run_workload(policy, "w1", load, config) for policy in policies
+    }
+    return Fig5Table2Result(outputs)
+
+
+def render_table2(result: Fig5Table2Result) -> str:
+    """Table 2, same columns as the paper."""
+    rows = []
+    for policy in result.outputs:
+        stats = burst_statistics(result.outputs[policy].trace)
+        rows.append(
+            [
+                policy,
+                stats.migrations,
+                round(stats.avg_burst_time * 1000.0, 1),  # ms, as in the paper
+                round(stats.avg_bursts_per_cpu, 1),
+            ]
+        )
+    return format_table(
+        ["policy", "migrations", "avg burst (ms)", "bursts/cpu"],
+        rows,
+        title="Table 2 — IRIX vs PDPA vs Equipartition (w1, load=100%)",
+    )
+
+
+def render_fig5(
+    result: Fig5Table2Result,
+    width: int = 100,
+    cpus: Optional[Sequence[int]] = None,
+) -> str:
+    """Fig. 5: IRIX view (left/top) and PDPA view (right/bottom)."""
+    sample_cpus = list(cpus) if cpus is not None else list(range(0, 60, 4))
+    blocks = []
+    for policy in ("IRIX", "PDPA"):
+        if policy not in result.outputs:
+            continue
+        blocks.append(f"--- execution view under {policy} ---")
+        blocks.append(result.view(policy, width=width, cpus=sample_cpus))
+    return "\n".join(blocks)

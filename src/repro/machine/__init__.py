@@ -1,0 +1,16 @@
+"""Machine model: a CC-NUMA shared-memory multiprocessor.
+
+Stands in for the paper's SGI Origin 2000 (64 processors, of which 60
+are used for the workloads).  The machine tracks:
+
+* which CPUs each running job's partition owns (space sharing),
+* per-CPU activity bursts (feeding the Paraver-style analyses),
+* kernel-thread migrations caused by reallocations,
+* NUMA placement, so partitions prefer topologically close CPUs.
+"""
+
+from repro.machine.topology import NumaTopology
+from repro.machine.cpu import CpuState
+from repro.machine.machine import Machine, MachineError
+
+__all__ = ["NumaTopology", "CpuState", "Machine", "MachineError"]

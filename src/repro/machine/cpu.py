@@ -1,0 +1,93 @@
+"""Per-CPU state and burst bookkeeping.
+
+Each CPU tracks which job currently owns it and since when.  When
+ownership changes, the finished interval is emitted as a
+:class:`~repro.metrics.trace.Burst` — the unit from which the paper's
+Table 2 statistics (average burst duration, bursts per CPU) are
+computed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.metrics.trace import Burst, TraceRecorder
+
+
+class CpuState:
+    """Ownership state of one CPU.
+
+    Attributes
+    ----------
+    cpu_id:
+        Index of this CPU.
+    owner:
+        Job id currently running here, or ``None`` when idle.
+    """
+
+    __slots__ = ("cpu_id", "owner", "owner_app", "since", "busy_time", "switches")
+
+    def __init__(self, cpu_id: int) -> None:
+        self.cpu_id = cpu_id
+        self.owner: Optional[int] = None
+        self.owner_app: str = ""
+        self.since: float = 0.0
+        self.busy_time: float = 0.0
+        self.switches: int = 0
+
+    @property
+    def idle(self) -> bool:
+        """Whether no job owns this CPU."""
+        return self.owner is None
+
+    def assign(
+        self,
+        job_id: Optional[int],
+        app_name: str,
+        now: float,
+        trace: Optional[TraceRecorder] = None,
+    ) -> Optional[int]:
+        """Switch ownership to *job_id* (``None`` = idle) at time *now*.
+
+        Closes the running burst, emits it to *trace*, and returns the
+        previous owner's job id (or ``None``) so the caller can decide
+        whether the switch counts as a migration.
+        """
+        previous = self.owner
+        if previous == job_id:
+            return previous
+        if previous is not None:
+            duration = now - self.since
+            if duration < 0:
+                raise ValueError(
+                    f"cpu {self.cpu_id}: time went backwards "
+                    f"({self.since} -> {now})"
+                )
+            self.busy_time += duration
+            if trace is not None:
+                trace.record_burst(
+                    Burst(self.cpu_id, previous, self.owner_app, self.since, now)
+                )
+        self.owner = job_id
+        self.owner_app = app_name if job_id is not None else ""
+        self.since = now
+        self.switches += 1
+        return previous
+
+    def flush(self, now: float, trace: Optional[TraceRecorder] = None) -> None:
+        """Close the running burst without changing ownership.
+
+        Used at the end of a simulation so in-progress bursts appear in
+        the trace.
+        """
+        if self.owner is None:
+            return
+        duration = now - self.since
+        if duration < 0:
+            raise ValueError(f"cpu {self.cpu_id}: flush before burst start")
+        self.busy_time += duration
+        if trace is not None and duration > 0:
+            trace.record_burst(
+                Burst(self.cpu_id, self.owner, self.owner_app, self.since, now)
+            )
+        self.since = now

@@ -1,0 +1,221 @@
+"""Space-shared machine with NUMA-aware partition placement.
+
+The machine is the enforcement half of the NANOS Resource Manager: the
+scheduling policy decides *how many* processors each job gets, and the
+machine decides *which* CPUs those are.  Placement follows the same
+goals IRIX's affinity policy pursues — keep a job's threads where they
+were, keep partitions compact on the NUMA fabric — but applied to
+exclusive partitions, which is what makes the space-sharing policies
+stable (few migrations, long bursts; see Table 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.machine.cpu import CpuState
+from repro.machine.topology import NumaTopology
+from repro.metrics.trace import TraceRecorder
+
+
+class MachineError(RuntimeError):
+    """Raised on invalid partition operations (overcommit, unknown job)."""
+
+
+class Machine:
+    """A multiprocessor divided into per-job exclusive partitions.
+
+    Parameters
+    ----------
+    n_cpus:
+        Number of CPUs usable for the workload (the paper uses 60 of
+        the Origin 2000's 64, keeping the rest for system activity and
+        the tracing tool).
+    topology:
+        NUMA topology; a default 2-CPUs-per-node layout is created when
+        omitted.
+    trace:
+        Optional recorder receiving bursts, migrations and
+        reallocation records.
+    """
+
+    def __init__(
+        self,
+        n_cpus: int = 60,
+        topology: Optional[NumaTopology] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        if n_cpus < 1:
+            raise ValueError(f"n_cpus must be >= 1, got {n_cpus}")
+        self.n_cpus = n_cpus
+        self.topology = topology or NumaTopology(n_cpus)
+        if self.topology.n_cpus != n_cpus:
+            raise ValueError(
+                f"topology covers {self.topology.n_cpus} CPUs, machine has {n_cpus}"
+            )
+        self.trace = trace
+        self.cpus: List[CpuState] = [CpuState(i) for i in range(n_cpus)]
+        self._partitions: Dict[int, Set[int]] = {}
+        self._app_names: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def free_cpus(self) -> int:
+        """Number of CPUs not owned by any partition."""
+        return self.n_cpus - sum(len(p) for p in self._partitions.values())
+
+    @property
+    def allocated_cpus(self) -> int:
+        """Number of CPUs currently inside partitions."""
+        return self.n_cpus - self.free_cpus
+
+    def allocation_of(self, job_id: int) -> int:
+        """Partition size of *job_id* (0 if the job has no partition)."""
+        return len(self._partitions.get(job_id, ()))
+
+    def partition_of(self, job_id: int) -> List[int]:
+        """Sorted CPU ids of the job's partition."""
+        return sorted(self._partitions.get(job_id, ()))
+
+    def running_jobs(self) -> List[int]:
+        """Job ids that currently hold a partition."""
+        return sorted(self._partitions)
+
+    def allocations(self) -> Dict[int, int]:
+        """Mapping of job id to partition size."""
+        return {job: len(cpus) for job, cpus in self._partitions.items()}
+
+    # ------------------------------------------------------------------
+    # partition management
+    # ------------------------------------------------------------------
+    def start_job(self, job_id: int, app_name: str, procs: int, now: float) -> int:
+        """Create a partition for a newly started job.
+
+        Returns the number of CPUs actually granted (always == procs;
+        the caller must not overcommit).
+        """
+        if job_id in self._partitions:
+            raise MachineError(f"job {job_id} already has a partition")
+        if procs < 1:
+            raise MachineError(f"job {job_id}: initial allocation must be >= 1")
+        if procs > self.free_cpus:
+            raise MachineError(
+                f"job {job_id}: requested {procs} CPUs but only {self.free_cpus} free"
+            )
+        self._partitions[job_id] = set()
+        self._app_names[job_id] = app_name
+        self._grow(job_id, procs, now)
+        return procs
+
+    def resize_job(self, job_id: int, procs: int, now: float) -> int:
+        """Resize a partition to *procs* CPUs; returns thread migrations.
+
+        Shrinking releases the least locality-valuable CPUs first;
+        growing grabs free CPUs closest to the existing partition.
+        Every CPU that leaves a still-running partition forces its
+        kernel thread to migrate onto the remaining CPUs, so the
+        migration count equals the number of CPUs removed (plus any
+        CPUs acquired that were just vacated by another job, which the
+        trace counts when the new owner is assigned).
+        """
+        if job_id not in self._partitions:
+            raise MachineError(f"job {job_id} has no partition")
+        if procs < 1:
+            raise MachineError(f"job {job_id}: allocation must stay >= 1")
+        current = len(self._partitions[job_id])
+        if procs == current:
+            return 0
+        if procs > current:
+            needed = procs - current
+            if needed > self.free_cpus:
+                raise MachineError(
+                    f"job {job_id}: growing by {needed} but only "
+                    f"{self.free_cpus} CPUs free"
+                )
+            self._grow(job_id, needed, now)
+            return 0
+        removed = self._shrink(job_id, current - procs, now)
+        if self.trace is not None:
+            self.trace.record_migrations(removed)
+        return removed
+
+    def finish_job(self, job_id: int, now: float) -> None:
+        """Release the job's partition (job completed)."""
+        if job_id not in self._partitions:
+            raise MachineError(f"job {job_id} has no partition")
+        for cpu_id in list(self._partitions[job_id]):
+            self.cpus[cpu_id].assign(None, "", now, self.trace)
+        del self._partitions[job_id]
+        del self._app_names[job_id]
+
+    def finalize(self, now: float) -> None:
+        """Flush all in-progress bursts into the trace (end of run)."""
+        for cpu in self.cpus:
+            cpu.flush(now, self.trace)
+
+    # ------------------------------------------------------------------
+    # placement internals
+    # ------------------------------------------------------------------
+    def _free_cpu_ids(self) -> List[int]:
+        return [cpu.cpu_id for cpu in self.cpus if cpu.idle]
+
+    def _grow(self, job_id: int, count: int, now: float) -> None:
+        partition = self._partitions[job_id]
+        app_name = self._app_names[job_id]
+        chosen = self._pick_free_cpus(partition, count)
+        migrations = 0
+        for cpu_id in chosen:
+            previous = self.cpus[cpu_id].assign(job_id, app_name, now, self.trace)
+            if previous is not None and previous != job_id:
+                migrations += 1
+            partition.add(cpu_id)
+        if migrations and self.trace is not None:
+            self.trace.record_migrations(migrations)
+
+    def _pick_free_cpus(self, partition: Iterable[int], count: int) -> List[int]:
+        """Choose free CPUs minimising distance to the partition."""
+        partition = list(partition)
+        free = self._free_cpu_ids()
+        if len(free) < count:
+            raise MachineError(f"need {count} free CPUs, have {len(free)}")
+        if not partition:
+            # New partition: take the most compact run of free CPUs by
+            # sorting on node and preferring whole nodes.
+            free.sort(key=lambda c: (self.topology.node_of(c), c))
+            return free[:count]
+
+        def affinity(cpu_id: int) -> tuple:
+            dist = min(self.topology.distance(cpu_id, p) for p in partition)
+            return (dist, cpu_id)
+
+        free.sort(key=affinity)
+        return free[:count]
+
+    def _shrink(self, job_id: int, count: int, now: float) -> int:
+        """Release *count* CPUs from the partition; returns the count."""
+        partition = self._partitions[job_id]
+        victims = self._pick_victims(partition, count)
+        for cpu_id in victims:
+            self.cpus[cpu_id].assign(None, "", now, self.trace)
+            partition.remove(cpu_id)
+        return len(victims)
+
+    def _pick_victims(self, partition: Set[int], count: int) -> List[int]:
+        """Release CPUs from the least-populated nodes first.
+
+        Giving back stragglers keeps the remaining partition compact,
+        preserving data locality for the job that shrinks.
+        """
+        by_node: Dict[int, List[int]] = {}
+        for cpu_id in partition:
+            by_node.setdefault(self.topology.node_of(cpu_id), []).append(cpu_id)
+        ordered_nodes = sorted(by_node, key=lambda n: (len(by_node[n]), -n))
+        victims: List[int] = []
+        for node in ordered_nodes:
+            for cpu_id in sorted(by_node[node], reverse=True):
+                if len(victims) == count:
+                    return victims
+                victims.append(cpu_id)
+        return victims

@@ -1,0 +1,68 @@
+"""Measurement, tracing and reporting.
+
+This package plays the role of the paper's measurement tooling:
+
+* :mod:`repro.metrics.trace` — the per-CPU activity trace produced by
+  the ``scpus`` tracing tool in the paper,
+* :mod:`repro.metrics.paraver` — the analyses the authors ran with the
+  Paraver tool (migration counts, burst statistics, execution views),
+* :mod:`repro.metrics.stats` — response-time / execution-time
+  aggregation per application class.
+"""
+
+from repro.metrics.stats import (
+    ClassSummary,
+    JobRecord,
+    WorkloadResult,
+    format_table,
+    summarize_by_app,
+)
+from repro.metrics.trace import Burst, MplSample, ReallocationRecord, TraceRecorder
+from repro.metrics.paraver import (
+    BurstStatistics,
+    burst_statistics,
+    execution_view,
+    mpl_timeline,
+)
+from repro.metrics.prv import PrvTrace, export_prv, parse_prv
+from repro.metrics.statistics import (
+    Summary,
+    bounded_slowdown,
+    confidence_interval,
+    percentile,
+    summary,
+)
+from repro.metrics.timeline import (
+    AllocationStats,
+    allocation_stats,
+    allocation_stats_by_app,
+    utilization_timeline,
+)
+
+__all__ = [
+    "Burst",
+    "MplSample",
+    "ReallocationRecord",
+    "TraceRecorder",
+    "BurstStatistics",
+    "burst_statistics",
+    "execution_view",
+    "mpl_timeline",
+    "JobRecord",
+    "ClassSummary",
+    "WorkloadResult",
+    "summarize_by_app",
+    "format_table",
+    "PrvTrace",
+    "export_prv",
+    "parse_prv",
+    "Summary",
+    "bounded_slowdown",
+    "confidence_interval",
+    "percentile",
+    "summary",
+    "AllocationStats",
+    "allocation_stats",
+    "allocation_stats_by_app",
+    "utilization_timeline",
+]

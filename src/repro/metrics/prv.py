@@ -1,0 +1,177 @@
+"""Paraver trace export (.prv).
+
+The paper's workload executions were recorded with ``scpus`` and
+visualised with Paraver.  This module serialises a
+:class:`~repro.metrics.trace.TraceRecorder` into the Paraver trace
+format so the execution views can be inspected with the real tool:
+
+* a header line (``#Paraver ...``) describing the machine,
+* **state records** — ``1:cpu:appl:task:thread:begin:end:state`` —
+  one per CPU burst (state 1 = running),
+* **event records** — ``2:cpu:appl:task:thread:time:type:value`` —
+  one per reallocation, with the event type
+  :data:`EVENT_ALLOCATION` and the new allocation as the value.
+
+Times are written in microseconds, as Paraver expects.  A minimal
+parser is provided for round-trip testing and for loading traces back
+into analysis scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.metrics.trace import Burst, TraceRecorder
+
+#: Paraver state value for "running".
+STATE_RUNNING = 1
+#: Event type used for allocation-change events.
+EVENT_ALLOCATION = 40000001
+
+_US = 1_000_000  # seconds -> microseconds
+
+
+def _appl_numbers(trace: TraceRecorder) -> Dict[int, int]:
+    """Stable 1-based Paraver application ids for the trace's jobs."""
+    job_ids = sorted(
+        {b.job_id for b in trace.bursts}
+        | {r.job_id for r in trace.reallocations}
+    )
+    return {job_id: i + 1 for i, job_id in enumerate(job_ids)}
+
+
+def export_prv(trace: TraceRecorder, title: str = "pdpa-sim") -> str:
+    """Serialise *trace* as Paraver trace text."""
+    appl = _appl_numbers(trace)
+    ftime = int(round(trace.horizon * _US))
+    n_appl = max(len(appl), 1)
+    appl_list = ":".join("1(1:1)" for _ in range(n_appl))
+    header = (
+        f"#Paraver ({title}):{ftime}_us:1({trace.n_cpus}):{n_appl}:{appl_list}"
+    )
+    lines = [header]
+    records: List[Tuple[int, str]] = []
+    for burst in trace.bursts:
+        begin = int(round(burst.start * _US))
+        end = int(round(burst.end * _US))
+        records.append((
+            begin,
+            f"1:{burst.cpu + 1}:{appl[burst.job_id]}:1:1:{begin}:{end}:{STATE_RUNNING}",
+        ))
+    for realloc in trace.reallocations:
+        time = int(round(realloc.time * _US))
+        records.append((
+            time,
+            f"2:0:{appl[realloc.job_id]}:1:1:{time}:{EVENT_ALLOCATION}:{realloc.new_procs}",
+        ))
+    records.sort(key=lambda item: item[0])
+    lines.extend(text for _, text in records)
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class PrvState:
+    """Parsed state record (a CPU burst)."""
+
+    cpu: int
+    appl: int
+    begin: float
+    end: float
+    state: int
+
+
+@dataclass(frozen=True)
+class PrvEvent:
+    """Parsed event record."""
+
+    cpu: int
+    appl: int
+    time: float
+    event_type: int
+    value: int
+
+
+@dataclass
+class PrvTrace:
+    """A parsed .prv trace."""
+
+    n_cpus: int
+    n_appl: int
+    ftime: float
+    states: List[PrvState]
+    events: List[PrvEvent]
+
+
+def parse_prv(text: str) -> PrvTrace:
+    """Parse Paraver trace text produced by :func:`export_prv`.
+
+    Raises
+    ------
+    ValueError
+        On a missing/malformed header or malformed records.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines or not lines[0].startswith("#Paraver"):
+        raise ValueError("not a Paraver trace: missing #Paraver header")
+    header = lines[0]
+    try:
+        # #Paraver (title):FTIME_us:1(NCPUS):NAPPL:...
+        fields = header.split(":")
+        ftime = int(fields[1].split("_")[0]) / _US
+        n_cpus = int(fields[2].split("(")[1].rstrip(")"))
+        n_appl = int(fields[3])
+    except (IndexError, ValueError) as exc:
+        raise ValueError(f"malformed Paraver header: {header!r}") from exc
+
+    states: List[PrvState] = []
+    events: List[PrvEvent] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        parts = line.split(":")
+        kind = parts[0]
+        try:
+            if kind == "1":
+                if len(parts) != 8:
+                    raise ValueError("state record needs 8 fields")
+                states.append(PrvState(
+                    cpu=int(parts[1]) - 1,
+                    appl=int(parts[2]),
+                    begin=int(parts[5]) / _US,
+                    end=int(parts[6]) / _US,
+                    state=int(parts[7]),
+                ))
+            elif kind == "2":
+                if len(parts) != 8:
+                    raise ValueError("event record needs 8 fields")
+                events.append(PrvEvent(
+                    cpu=int(parts[1]),
+                    appl=int(parts[2]),
+                    time=int(parts[5]) / _US,
+                    event_type=int(parts[6]),
+                    value=int(parts[7]),
+                ))
+            else:
+                raise ValueError(f"unknown record kind {kind!r}")
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: {exc}") from exc
+    return PrvTrace(
+        n_cpus=n_cpus, n_appl=n_appl, ftime=ftime, states=states, events=events
+    )
+
+
+def states_to_bursts(prv: PrvTrace, app_names: Dict[int, str]) -> List[Burst]:
+    """Rebuild :class:`Burst` records from a parsed trace.
+
+    ``app_names`` maps Paraver application numbers back to names; the
+    appl number is reused as the job id.
+    """
+    bursts = []
+    for state in prv.states:
+        bursts.append(Burst(
+            cpu=state.cpu,
+            job_id=state.appl,
+            app_name=app_names.get(state.appl, f"appl{state.appl}"),
+            start=state.begin,
+            end=state.end,
+        ))
+    return bursts

@@ -1,0 +1,215 @@
+"""Response-time / execution-time aggregation.
+
+The paper's evaluation reports, "for each workload, [...] the average
+response time and the average execution time per scheduling policy and
+application class".  This module turns the raw per-job timestamps into
+those aggregates and formats them as plain-text tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.qs.job import Job, JobState
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Immutable outcome of one completed job."""
+
+    job_id: int
+    app_name: str
+    app_class: str
+    request: int
+    submit_time: float
+    start_time: float
+    end_time: float
+
+    @property
+    def wait_time(self) -> float:
+        """Queueing delay (start - submit)."""
+        return self.start_time - self.submit_time
+
+    @property
+    def execution_time(self) -> float:
+        """Running time (end - start)."""
+        return self.end_time - self.start_time
+
+    @property
+    def response_time(self) -> float:
+        """Total time in the system (end - submit)."""
+        return self.end_time - self.submit_time
+
+    @classmethod
+    def from_job(cls, job: Job) -> "JobRecord":
+        """Build a record from a finished :class:`Job`."""
+        if job.state is not JobState.DONE:
+            raise ValueError(f"job {job.job_id} has not completed")
+        assert job.start_time is not None and job.end_time is not None
+        return cls(
+            job_id=job.job_id,
+            app_name=job.app_name,
+            app_class=str(job.spec.app_class),
+            request=job.request if job.request is not None else 0,
+            submit_time=job.submit_time,
+            start_time=job.start_time,
+            end_time=job.end_time,
+        )
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """Aggregates for one application within one workload run."""
+
+    app_name: str
+    count: int
+    mean_response_time: float
+    mean_execution_time: float
+    mean_wait_time: float
+    max_response_time: float
+
+    @classmethod
+    def from_records(cls, app_name: str, records: Sequence[JobRecord]) -> "ClassSummary":
+        if not records:
+            raise ValueError(f"no records for application {app_name!r}")
+        n = len(records)
+        return cls(
+            app_name=app_name,
+            count=n,
+            mean_response_time=sum(r.response_time for r in records) / n,
+            mean_execution_time=sum(r.execution_time for r in records) / n,
+            mean_wait_time=sum(r.wait_time for r in records) / n,
+            max_response_time=max(r.response_time for r in records),
+        )
+
+
+@dataclass
+class WorkloadResult:
+    """Everything measured from one workload execution.
+
+    Attributes
+    ----------
+    policy:
+        Name of the scheduling policy that ran the workload.
+    load:
+        Nominal load fraction the workload was generated for.
+    records:
+        One :class:`JobRecord` per completed job.
+    makespan:
+        Time at which the last job completed.
+    migrations:
+        Total kernel-thread migrations (Table 2 metric).
+    avg_burst_time:
+        Average CPU burst duration in seconds (Table 2 metric).
+    avg_bursts_per_cpu:
+        Average number of bursts executed per CPU (Table 2 metric).
+    reallocations:
+        Number of allocation changes applied to running jobs.
+    max_mpl:
+        Highest multiprogramming level observed.
+    cpu_utilization:
+        Fraction of machine capacity used over the makespan.
+    """
+
+    policy: str
+    load: float
+    records: List[JobRecord] = field(default_factory=list)
+    makespan: float = 0.0
+    migrations: int = 0
+    avg_burst_time: float = 0.0
+    avg_bursts_per_cpu: float = 0.0
+    reallocations: int = 0
+    max_mpl: int = 0
+    cpu_utilization: float = 0.0
+
+    def by_app(self) -> Dict[str, ClassSummary]:
+        """Per-application summaries, keyed by application name."""
+        return summarize_by_app(self.records)
+
+    def summary(self, app_name: str) -> ClassSummary:
+        """Summary for one application (KeyError if absent)."""
+        summaries = self.by_app()
+        if app_name not in summaries:
+            raise KeyError(
+                f"no jobs of {app_name!r} in this workload; "
+                f"have {sorted(summaries)}"
+            )
+        return summaries[app_name]
+
+    @property
+    def total_execution_time(self) -> float:
+        """Workload completion time measured from first submission.
+
+        This is the "Workload Exec. time" column of Table 3: the
+        elapsed time needed to execute the complete workload.
+        """
+        if not self.records:
+            return 0.0
+        first_submit = min(r.submit_time for r in self.records)
+        return self.makespan - first_submit
+
+    @property
+    def mean_response_time(self) -> float:
+        """Mean response time over every job in the workload."""
+        if not self.records:
+            return 0.0
+        return sum(r.response_time for r in self.records) / len(self.records)
+
+    @property
+    def mean_bounded_slowdown(self) -> float:
+        """Mean bounded slowdown over every job (tau = 10 s)."""
+        if not self.records:
+            return 0.0
+        from repro.metrics.statistics import mean_bounded_slowdown
+
+        return mean_bounded_slowdown(self.records)
+
+
+def summarize_by_app(records: Iterable[JobRecord]) -> Dict[str, ClassSummary]:
+    """Group records by application name and summarise each group."""
+    groups: Dict[str, List[JobRecord]] = {}
+    for record in records:
+        groups.setdefault(record.app_name, []).append(record)
+    return {
+        name: ClassSummary.from_records(name, group)
+        for name, group in groups.items()
+    }
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a plain-text table (used by benches and the CLI).
+
+    Numeric cells are right-aligned and floats are shown with one
+    decimal, matching the precision the paper reports.
+    """
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.1f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)

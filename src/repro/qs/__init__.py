@@ -1,0 +1,37 @@
+"""The NANOS Queuing System and workload tooling.
+
+* :mod:`repro.qs.job` — the job abstraction shared by all layers.
+* :mod:`repro.qs.queuing` — the user-level submission tool: FCFS job
+  queue, repeatable submission of workload traces, multiprogramming
+  level enforced in coordination with the resource manager.
+* :mod:`repro.qs.workload` — workload generation following the paper:
+  Poisson arrivals over 300 seconds at an estimated processor demand
+  of 60/80/100% of machine capacity, mixes from Table 1.
+* :mod:`repro.qs.swf` — reader/writer for Feitelson's Standard
+  Workload Format, the trace file format the paper's workloads use.
+"""
+
+from repro.qs.job import Job, JobState
+from repro.qs.queuing import NanosQS
+from repro.qs.backfill import BackfillQS
+from repro.qs.swf import SwfJob, parse_swf, write_swf
+from repro.qs.workload import (
+    TABLE1_MIXES,
+    WorkloadMix,
+    estimate_demand,
+    generate_workload,
+)
+
+__all__ = [
+    "Job",
+    "JobState",
+    "NanosQS",
+    "BackfillQS",
+    "SwfJob",
+    "parse_swf",
+    "write_swf",
+    "WorkloadMix",
+    "TABLE1_MIXES",
+    "estimate_demand",
+    "generate_workload",
+]

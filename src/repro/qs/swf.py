@@ -1,0 +1,207 @@
+"""Feitelson's Standard Workload Format (SWF).
+
+The paper's workload trace files "follow the specification proposed by
+Feitelson" — the Standard Workload Format used by the parallel
+workloads archive.  An SWF file holds one job per line with 18
+whitespace-separated fields; header lines start with ``;``.
+
+This module reads and writes SWF, and converts between SWF records
+and our :class:`~repro.qs.job.Job` objects.  Unknown values are -1,
+as the specification requires.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, TextIO, Union
+
+from repro.apps.application import ApplicationSpec
+from repro.qs.job import Job
+
+#: Field names, in SWF column order.
+SWF_FIELDS = (
+    "job_number",
+    "submit_time",
+    "wait_time",
+    "run_time",
+    "allocated_procs",
+    "avg_cpu_time",
+    "used_memory",
+    "requested_procs",
+    "requested_time",
+    "requested_memory",
+    "status",
+    "user_id",
+    "group_id",
+    "executable",
+    "queue",
+    "partition",
+    "preceding_job",
+    "think_time",
+)
+
+
+@dataclass
+class SwfJob:
+    """One SWF record; field semantics follow the specification."""
+
+    job_number: int
+    submit_time: float
+    wait_time: float = -1
+    run_time: float = -1
+    allocated_procs: int = -1
+    avg_cpu_time: float = -1
+    used_memory: int = -1
+    requested_procs: int = -1
+    requested_time: float = -1
+    requested_memory: int = -1
+    status: int = -1
+    user_id: int = -1
+    group_id: int = -1
+    executable: int = -1
+    queue: int = -1
+    partition: int = -1
+    preceding_job: int = -1
+    think_time: float = -1
+
+    def to_line(self) -> str:
+        """Serialise as one SWF data line."""
+        values = []
+        for name in SWF_FIELDS:
+            value = getattr(self, name)
+            if isinstance(value, float):
+                values.append(f"{value:.2f}".rstrip("0").rstrip("."))
+            else:
+                values.append(str(value))
+        return " ".join(values)
+
+    @classmethod
+    def from_line(cls, line: str) -> "SwfJob":
+        """Parse one SWF data line.
+
+        Raises
+        ------
+        ValueError
+            On a malformed line (wrong field count or non-numeric
+            fields).
+        """
+        parts = line.split()
+        if len(parts) != len(SWF_FIELDS):
+            raise ValueError(
+                f"SWF line has {len(parts)} fields, expected {len(SWF_FIELDS)}: {line!r}"
+            )
+        kwargs = {}
+        int_fields = {
+            "job_number", "allocated_procs", "used_memory", "requested_procs",
+            "requested_memory", "status", "user_id", "group_id", "executable",
+            "queue", "partition", "preceding_job",
+        }
+        for name, raw in zip(SWF_FIELDS, parts):
+            if name in int_fields:
+                kwargs[name] = int(float(raw))
+            else:
+                kwargs[name] = float(raw)
+        return cls(**kwargs)
+
+
+def parse_swf(source: Union[str, TextIO]) -> List[SwfJob]:
+    """Parse SWF text (or a file-like object) into records.
+
+    Header/comment lines (starting with ``;``) and blank lines are
+    skipped.
+    """
+    if isinstance(source, str):
+        source = io.StringIO(source)
+    records = []
+    for lineno, line in enumerate(source, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith(";"):
+            continue
+        try:
+            records.append(SwfJob.from_line(stripped))
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: {exc}") from exc
+    return records
+
+
+def write_swf(
+    records: Iterable[SwfJob],
+    header: Optional[Dict[str, str]] = None,
+) -> str:
+    """Serialise records to SWF text with optional header comments."""
+    lines = []
+    for key, value in (header or {}).items():
+        lines.append(f"; {key}: {value}")
+    for record in records:
+        lines.append(record.to_line())
+    return "\n".join(lines) + "\n"
+
+
+def jobs_to_swf(
+    jobs: Iterable[Job],
+    app_numbers: Optional[Dict[str, int]] = None,
+) -> List[SwfJob]:
+    """Convert scheduler jobs to SWF records.
+
+    ``app_numbers`` maps application names to SWF executable numbers;
+    one is built on the fly when omitted.  Completed jobs carry their
+    measured wait/run times; queued jobs use -1 as the spec requires.
+    """
+    numbers: Dict[str, int] = dict(app_numbers or {})
+    records = []
+    for job in jobs:
+        if job.app_name not in numbers:
+            numbers[job.app_name] = len(numbers) + 1
+        wait = job.wait_time
+        run = job.execution_time
+        records.append(
+            SwfJob(
+                job_number=job.job_id,
+                submit_time=job.submit_time,
+                wait_time=wait if wait is not None else -1,
+                run_time=run if run is not None else -1,
+                allocated_procs=-1,
+                requested_procs=job.request if job.request is not None else -1,
+                status=1 if run is not None else -1,
+                executable=numbers[job.app_name],
+            )
+        )
+    return records
+
+
+def jobs_from_swf(
+    records: Iterable[SwfJob],
+    executables: Dict[int, ApplicationSpec],
+) -> List[Job]:
+    """Rebuild scheduler jobs from SWF records.
+
+    Parameters
+    ----------
+    records:
+        Parsed SWF records.
+    executables:
+        Mapping of SWF executable numbers to application specs.
+
+    Raises
+    ------
+    KeyError
+        If a record references an unknown executable number.
+    """
+    jobs = []
+    for record in records:
+        if record.executable not in executables:
+            raise KeyError(
+                f"job {record.job_number}: unknown executable {record.executable}"
+            )
+        spec = executables[record.executable]
+        request = record.requested_procs if record.requested_procs > 0 else None
+        jobs.append(
+            Job(
+                job_id=record.job_number,
+                spec=spec,
+                submit_time=record.submit_time,
+                request=request,
+            )
+        )
+    return jobs

@@ -1,0 +1,157 @@
+"""Scheduling-policy interface and the system view policies see.
+
+A policy is a pure decision maker: on every activation (job arrival,
+job completion, performance report) it receives a read-only
+:class:`SystemView` and returns the new allocation for every running
+job it wants to change.  The resource manager enforces the decision on
+the machine.  The policy also answers the coordination question the
+paper's §4.3 raises — *may the queuing system start another job now?*
+— through :meth:`SchedulingPolicy.wants_admission`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.qs.job import Job
+from repro.runtime.selfanalyzer import PerformanceReport
+
+
+@dataclass
+class JobView:
+    """Read-only snapshot of one running job."""
+
+    job: Job
+    allocation: int
+    last_report: Optional[PerformanceReport] = None
+
+    @property
+    def job_id(self) -> int:
+        """The job's identifier."""
+        return self.job.job_id
+
+    @property
+    def request(self) -> int:
+        """Processors the job requested at submission."""
+        assert self.job.request is not None
+        return self.job.request
+
+    @property
+    def efficiency(self) -> Optional[float]:
+        """Latest measured efficiency, if any report arrived yet."""
+        if self.last_report is None:
+            return None
+        return self.last_report.efficiency
+
+
+class SystemView:
+    """Read-only snapshot of the machine and all running jobs."""
+
+    def __init__(self, total_cpus: int, jobs: Dict[int, JobView]) -> None:
+        if total_cpus < 1:
+            raise ValueError(f"total_cpus must be >= 1, got {total_cpus}")
+        self.total_cpus = total_cpus
+        self.jobs = jobs
+
+    @property
+    def allocated_cpus(self) -> int:
+        """CPUs currently inside partitions."""
+        return sum(view.allocation for view in self.jobs.values())
+
+    @property
+    def free_cpus(self) -> int:
+        """CPUs not allocated to any job."""
+        return self.total_cpus - self.allocated_cpus
+
+    @property
+    def running_jobs(self) -> int:
+        """Current multiprogramming level."""
+        return len(self.jobs)
+
+    def view_of(self, job_id: int) -> JobView:
+        """Snapshot of one job (KeyError if not running)."""
+        return self.jobs[job_id]
+
+
+#: An allocation decision: job_id -> new partition size.  Jobs absent
+#: from the mapping keep their current allocation.
+AllocationDecision = Dict[int, int]
+
+
+class SchedulingPolicy(ABC):
+    """Base class for processor-allocation policies."""
+
+    #: Policy name used in reports and result tables.
+    name: str = "policy"
+
+    #: Fixed multiprogramming level, or ``None`` when the policy
+    #: decides admission dynamically (PDPA).
+    fixed_mpl: Optional[int] = 4
+
+    @abstractmethod
+    def on_job_arrival(self, job: Job, system: SystemView) -> AllocationDecision:
+        """Allocate the arriving job (and optionally rebalance others).
+
+        ``system`` does *not* yet contain the new job; the returned
+        decision must include an entry for ``job.job_id`` with its
+        initial allocation (>= 1).
+        """
+
+    @abstractmethod
+    def on_job_completion(self, job: Job, system: SystemView) -> AllocationDecision:
+        """Redistribute after *job* completed (already removed from view)."""
+
+    def on_report(
+        self, job: Job, report: PerformanceReport, system: SystemView
+    ) -> AllocationDecision:
+        """React to a performance report (default: no change)."""
+        return {}
+
+    def wants_admission(self, system: SystemView, queued_jobs: int) -> bool:
+        """Whether the queuing system may start one more job now.
+
+        The default implements the traditional fixed multiprogramming
+        level the paper gives to IRIX, Equipartition and
+        Equal_efficiency.  A new job always needs at least one CPU,
+        which a rebalancing policy can reclaim as long as fewer jobs
+        than CPUs are running.
+        """
+        if queued_jobs <= 0:
+            return False
+        if self.fixed_mpl is not None and system.running_jobs >= self.fixed_mpl:
+            return False
+        return system.running_jobs < system.total_cpus
+
+    def on_job_removed(self, job: Job) -> None:
+        """Forget per-job state (called after completion)."""
+
+    def validate_decision(
+        self, decision: AllocationDecision, system: SystemView, arriving: Optional[Job]
+    ) -> None:
+        """Sanity-check a decision before enforcement.
+
+        Ensures every allocation is >= 1 and the total fits the
+        machine.  Called by the resource manager; kept on the policy so
+        tests can exercise it directly.
+        """
+        totals: Dict[int, int] = {
+            job_id: view.allocation for job_id, view in system.jobs.items()
+        }
+        for job_id, procs in decision.items():
+            if procs < 1:
+                raise ValueError(
+                    f"{self.name}: job {job_id} would get {procs} CPUs (< 1)"
+                )
+            totals[job_id] = procs
+        if arriving is not None and arriving.job_id not in decision:
+            raise ValueError(
+                f"{self.name}: decision lacks the arriving job {arriving.job_id}"
+            )
+        total = sum(totals.values())
+        if total > system.total_cpus:
+            raise ValueError(
+                f"{self.name}: decision allocates {total} CPUs on a "
+                f"{system.total_cpus}-CPU machine"
+            )

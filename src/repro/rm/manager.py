@@ -1,0 +1,274 @@
+"""Resource-manager implementations.
+
+:class:`BaseResourceManager` holds the lifecycle plumbing shared by
+the space-sharing RM and the IRIX time-sharing model: the running-job
+table, NthLib runtimes, completion callbacks towards the queuing
+system, and the state-change notifications that drive the coordinated
+admission protocol of §4.3.
+
+:class:`SpaceSharedResourceManager` is the NANOS RM proper: it hosts a
+:class:`~repro.rm.base.SchedulingPolicy`, translates its allocation
+decisions into machine partitions, and forwards SelfAnalyzer reports
+to it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.machine.machine import Machine
+from repro.machine.memory import LocalityModel
+from repro.metrics.trace import ReallocationRecord, TraceRecorder
+from repro.qs.job import Job
+from repro.rm.base import AllocationDecision, JobView, SchedulingPolicy, SystemView
+from repro.runtime.nthlib import NthLibRuntime, RuntimeConfig, RuntimeHost
+from repro.runtime.selfanalyzer import PerformanceReport
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+class BaseResourceManager(RuntimeHost):
+    """Common plumbing for both execution models."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_cpus: int,
+        streams: RandomStreams,
+        trace: Optional[TraceRecorder] = None,
+        runtime_config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.n_cpus = n_cpus
+        self.streams = streams
+        self.trace = trace
+        self.runtime_config = runtime_config or RuntimeConfig()
+        self.runtimes: Dict[int, NthLibRuntime] = {}
+        self.jobs: Dict[int, Job] = {}
+        self.reports: Dict[int, PerformanceReport] = {}
+        self.reallocation_count = 0
+        #: optional memory-locality model (space-shared managers only)
+        self.locality: Optional[LocalityModel] = None
+        #: invoked after any event that may change admission decisions
+        self.on_state_change: Callable[[], None] = lambda: None
+        #: invoked with each job that completes
+        self.on_job_finished: Callable[[Job], None] = lambda job: None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def running_count(self) -> int:
+        """Number of jobs currently executing."""
+        return len(self.jobs)
+
+    def can_admit(self, queued_jobs: int, head_request: Optional[int] = None) -> bool:
+        """Whether the queuing system may start one more job.
+
+        ``head_request`` is the processor request of the job at the
+        head of the FCFS queue, when the queuing system knows it;
+        policies that gate admission on exact fit (batch space
+        sharing) use it.
+        """
+        raise NotImplementedError
+
+    def system_view(self) -> SystemView:
+        """Snapshot used by policies and diagnostics."""
+        views = {
+            job_id: JobView(
+                job=job,
+                allocation=self._allocation(job_id),
+                last_report=self.reports.get(job_id),
+            )
+            for job_id, job in self.jobs.items()
+        }
+        return SystemView(self.n_cpus, views)
+
+    def _allocation(self, job_id: int) -> int:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start_job(self, job: Job) -> None:
+        """Admit *job*: allocate it and start its runtime."""
+        raise NotImplementedError
+
+    def _launch_runtime(self, job: Job) -> None:
+        runtime = NthLibRuntime(
+            self.sim, job, self, self.streams, self.runtime_config
+        )
+        self.runtimes[job.job_id] = runtime
+        self.jobs[job.job_id] = job
+        runtime.start()
+
+    def job_completed(self, job: Job) -> None:
+        """RuntimeHost hook: the job's last phase finished."""
+        job.mark_finished(self.sim.now)
+        self._release_job(job)
+        del self.jobs[job.job_id]
+        del self.runtimes[job.job_id]
+        self.reports.pop(job.job_id, None)
+        self.on_job_finished(job)
+        self.on_state_change()
+
+    def _release_job(self, job: Job) -> None:
+        raise NotImplementedError
+
+    def finalize(self) -> None:
+        """Flush any pending accounting at the end of a run."""
+
+    # ------------------------------------------------------------------
+    # RuntimeHost defaults
+    # ------------------------------------------------------------------
+    def deliver_report(self, job: Job, report: PerformanceReport) -> None:
+        self.reports[job.job_id] = report
+
+    def current_allocation(self, job: Job) -> int:
+        return self._allocation(job.job_id)
+
+    def iteration_speed_procs(self, job: Job, nominal_procs: int) -> float:
+        return float(nominal_procs)
+
+    def iteration_speedup(self, job: Job, nominal_procs: int) -> float:
+        """Execution rate for the next iteration.
+
+        Malleable applications run at their curve's speedup for the
+        granted processors.  Rigid applications always run
+        ``request`` processes; when the partition is smaller, the
+        processes are folded onto it and the rate scales with the
+        allocation fraction (paper §6's folding approach for MPI).
+        """
+        speed_procs = self.iteration_speed_procs(job, nominal_procs)
+        if job.spec.malleable:
+            speedup = job.spec.speedup_model.speedup(speed_procs)
+        else:
+            assert job.request is not None
+            speedup = job.spec.folded_speedup(job.request, speed_procs)
+        if self.locality is not None:
+            speedup *= self.locality.speed_factor(job.job_id, self.sim.now)
+        return speedup
+
+
+class SpaceSharedResourceManager(BaseResourceManager):
+    """The NANOS RM: policy-driven exclusive partitions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        policy: SchedulingPolicy,
+        streams: RandomStreams,
+        trace: Optional[TraceRecorder] = None,
+        runtime_config: Optional[RuntimeConfig] = None,
+        locality: Optional[LocalityModel] = None,
+    ) -> None:
+        super().__init__(sim, machine.n_cpus, streams, trace, runtime_config)
+        self.machine = machine
+        self.policy = policy
+        self.locality = locality
+
+    # ------------------------------------------------------------------
+    # admission (coordination with the queuing system)
+    # ------------------------------------------------------------------
+    def can_admit(self, queued_jobs: int, head_request: Optional[int] = None) -> bool:
+        note = getattr(self.policy, "note_head_request", None)
+        if note is not None:
+            note(head_request)
+        return self.policy.wants_admission(self.system_view(), queued_jobs)
+
+    def _allocation(self, job_id: int) -> int:
+        return self.machine.allocation_of(job_id)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start_job(self, job: Job) -> None:
+        job.mark_started(self.sim.now)
+        system = self.system_view()
+        decision = self.policy.on_job_arrival(job, system)
+        self.policy.validate_decision(decision, system, arriving=job)
+        initial = decision.pop(job.job_id)
+        # Shrink existing partitions first so the newcomer's CPUs are free.
+        self._apply(decision)
+        self.machine.start_job(job.job_id, job.app_name, initial, self.sim.now)
+        if self.locality is not None:
+            self.locality.on_job_start(job.job_id, self.sim.now)
+        self._record_realloc(job, 0, initial)
+        self._launch_runtime(job)
+        self.on_state_change()
+
+    def _release_job(self, job: Job) -> None:
+        self.machine.finish_job(job.job_id, self.sim.now)
+        if self.locality is not None:
+            self.locality.on_job_finish(job.job_id)
+        system_after = self.system_view_without(job.job_id)
+        decision = self.policy.on_job_completion(job, system_after)
+        self.policy.validate_decision(decision, system_after, arriving=None)
+        self._apply(decision)
+        self.policy.on_job_removed(job)
+
+    def system_view_without(self, job_id: int) -> SystemView:
+        """View with one job excluded (used at completion time)."""
+        views = {
+            jid: JobView(
+                job=j,
+                allocation=self._allocation(jid),
+                last_report=self.reports.get(jid),
+            )
+            for jid, j in self.jobs.items()
+            if jid != job_id
+        }
+        return SystemView(self.n_cpus, views)
+
+    # ------------------------------------------------------------------
+    # reports
+    # ------------------------------------------------------------------
+    def deliver_report(self, job: Job, report: PerformanceReport) -> None:
+        super().deliver_report(job, report)
+        system = self.system_view()
+        decision = self.policy.on_report(job, report, system)
+        self.policy.validate_decision(decision, system, arriving=None)
+        self._apply(decision)
+        self.on_state_change()
+
+    # ------------------------------------------------------------------
+    # enforcement
+    # ------------------------------------------------------------------
+    def _apply(self, decision: AllocationDecision) -> None:
+        """Resize partitions, shrinking before growing."""
+        if not decision:
+            return
+        shrinks: List[int] = []
+        grows: List[int] = []
+        for job_id, procs in decision.items():
+            if job_id not in self.jobs:
+                raise KeyError(f"decision names unknown job {job_id}")
+            current = self.machine.allocation_of(job_id)
+            if procs < current:
+                shrinks.append(job_id)
+            elif procs > current:
+                grows.append(job_id)
+        for job_id in shrinks + grows:
+            old = self.machine.allocation_of(job_id)
+            new = decision[job_id]
+            old_cpus = self.machine.partition_of(job_id)
+            self.machine.resize_job(job_id, new, self.sim.now)
+            if self.locality is not None and new != old:
+                self.locality.on_reallocation(
+                    job_id, old_cpus, self.machine.partition_of(job_id), self.sim.now
+                )
+            self._record_realloc(self.jobs[job_id], old, new)
+
+    def _record_realloc(self, job: Job, old: int, new: int) -> None:
+        if old == new:
+            return
+        self.reallocation_count += 1
+        if self.trace is not None:
+            self.trace.record_reallocation(
+                ReallocationRecord(self.sim.now, job.job_id, job.app_name, old, new)
+            )
+
+    def finalize(self) -> None:
+        """Flush machine bursts at the end of a run."""
+        self.machine.finalize(self.sim.now)

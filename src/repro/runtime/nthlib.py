@@ -1,0 +1,244 @@
+"""NthLib: the parallel runtime that executes jobs on the simulator.
+
+NthLib is the application-level half of the coordination protocol: it
+"requests for processors and reacts to changes in the number of
+processors allocated to the application".  In this reproduction it
+
+* drives the job through its phases (sequential startup, the
+  iterative parallel region, sequential teardown) as simulator events,
+* reads the allocation granted by the resource manager at every
+  iteration boundary (malleability happens at parallel-region
+  boundaries, exactly as for a real OpenMP code),
+* runs the SelfAnalyzer's baseline measure on a reduced processor
+  count, and forwards its performance reports to the resource manager.
+
+The resource manager side of the protocol is any object implementing
+the three callbacks documented on :class:`RuntimeHost`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.application import IterativeApplication
+from repro.qs.job import Job
+from repro.runtime.selfanalyzer import PerformanceReport, SelfAnalyzer, SelfAnalyzerConfig
+from repro.runtime.selftuning import SelfTuner, SelfTuningConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+class RuntimeHost:
+    """Interface NthLib expects from the resource manager.
+
+    The default implementations raise so that partial hosts fail
+    loudly; :class:`repro.rm.manager.ResourceManager` provides the
+    real behaviour.
+    """
+
+    def current_allocation(self, job: Job) -> int:
+        """Processors currently granted to *job* (its thread count)."""
+        raise NotImplementedError
+
+    def iteration_speed_procs(self, job: Job, nominal_procs: int) -> float:
+        """Effective processors powering the next iteration.
+
+        Equal to ``nominal_procs`` under space sharing; under the
+        time-shared IRIX model it is the fractional CPU share the
+        job's threads actually receive.
+        """
+        raise NotImplementedError
+
+    def iteration_speedup(self, job: Job, nominal_procs: int) -> float:
+        """Execution rate (speedup over sequential) of the next iteration.
+
+        The default evaluates the application's own speedup curve at
+        the effective processor share.  Hosts override it for
+        execution modes the curve cannot express directly — e.g.
+        rigid applications folded onto fewer processors.
+        """
+        speed_procs = self.iteration_speed_procs(job, nominal_procs)
+        return job.spec.speedup_model.speedup(speed_procs)
+
+    def deliver_report(self, job: Job, report: PerformanceReport) -> None:
+        """Receive a SelfAnalyzer performance report."""
+        raise NotImplementedError
+
+    def job_completed(self, job: Job) -> None:
+        """Notification that *job* finished its last phase."""
+        raise NotImplementedError
+
+
+class JobPhase(enum.Enum):
+    """Execution phases of an iterative application."""
+
+    CREATED = "created"
+    STARTUP = "startup"
+    ITERATING = "iterating"
+    TEARDOWN = "teardown"
+    DONE = "done"
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Execution-model parameters.
+
+    Attributes
+    ----------
+    noise_sigma:
+        Log-normal sigma of per-iteration execution jitter.  The
+        paper's measurements are noisy; this is what makes
+        Equal_efficiency "too sensitive to small changes in the
+        efficiency measurements".
+    use_selfanalyzer:
+        Whether the job is instrumented.  The native IRIX runtime
+        (SGI-MP library) has no SelfAnalyzer and never reports.
+    analyzer:
+        SelfAnalyzer configuration (ignored when disabled).
+    self_tuning:
+        When set, each malleable job runs Nguyen et al.'s *SelfTuning*
+        at the runtime level: it may use fewer processors than
+        allocated if its own measurements say that is faster.
+    reset_analyzer_on_phase_change:
+        When True, the SelfAnalyzer re-measures its baseline at every
+        declared work-phase boundary — the compiler-inserted reset the
+        paper's §3.1 proposes for applications with variable working
+        sets.  Only applies to phases declared in the application
+        spec (a compiler knows them; a binary-only run does not).
+    """
+
+    noise_sigma: float = 0.015
+    use_selfanalyzer: bool = True
+    analyzer: SelfAnalyzerConfig = SelfAnalyzerConfig()
+    self_tuning: Optional[SelfTuningConfig] = None
+    reset_analyzer_on_phase_change: bool = False
+
+    def __post_init__(self) -> None:
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be >= 0")
+
+
+class NthLibRuntime:
+    """Executes one job's phases as discrete events."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        job: Job,
+        host: RuntimeHost,
+        streams: RandomStreams,
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.job = job
+        self.host = host
+        self.config = config or RuntimeConfig()
+        self.app = IterativeApplication(job.spec)
+        # The SelfAnalyzer requires malleability (it controls the
+        # baseline processor count); rigid MPI-style jobs run
+        # uninstrumented, as in the paper's §6 status quo.
+        use_analyzer = self.config.use_selfanalyzer and job.spec.malleable
+        self.analyzer: Optional[SelfAnalyzer] = (
+            SelfAnalyzer(job.job_id, self.config.analyzer) if use_analyzer else None
+        )
+        self.tuner: Optional[SelfTuner] = (
+            SelfTuner(self.config.self_tuning)
+            if self.config.self_tuning is not None and job.spec.malleable
+            else None
+        )
+        self._streams = streams
+        self._noise_stream = f"iter-noise:{job.job_id}"
+        self.phase = JobPhase.CREATED
+        self._last_iter_procs: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin execution (called by the RM once a partition exists)."""
+        if self.phase is not JobPhase.CREATED:
+            raise RuntimeError(f"job {self.job.job_id}: started twice")
+        self.phase = JobPhase.STARTUP
+        duration = self.job.spec.t_startup * self._noise()
+        self.sim.schedule_after(
+            duration, self._startup_done, label=f"startup:{self.job.job_id}"
+        )
+
+    def _startup_done(self) -> None:
+        self.phase = JobPhase.ITERATING
+        self._begin_iteration()
+
+    def _begin_iteration(self) -> None:
+        if self.app.remaining_iterations <= 0:
+            self._begin_teardown()
+            return
+        if (
+            self.config.reset_analyzer_on_phase_change
+            and self.analyzer is not None
+            and any(start == self.app.completed_iterations
+                    for start, _ in self.job.spec.work_phases)
+        ):
+            self.analyzer.reset_baseline()
+        allocation = self.host.current_allocation(self.job)
+        if allocation < 1:
+            raise RuntimeError(
+                f"job {self.job.job_id}: zero allocation while iterating"
+            )
+        procs = allocation
+        if self.analyzer is not None and self.analyzer.in_baseline:
+            procs = self.analyzer.baseline_allocation(allocation)
+        elif self.tuner is not None:
+            procs = self.tuner.proposal(allocation)
+        speedup = self.host.iteration_speedup(self.job, procs)
+        changed_by = (
+            0 if self._last_iter_procs is None else procs - self._last_iter_procs
+        )
+        duration = self.app.iteration_duration_from_speedup(
+            speedup, alloc_changed_by=changed_by, noise_factor=self._noise()
+        )
+        self._last_iter_procs = procs
+        self.sim.schedule_after(
+            duration,
+            self._end_iteration,
+            procs,
+            duration,
+            label=f"iter:{self.job.job_id}:{self.app.completed_iterations}",
+        )
+
+    def _end_iteration(self, procs: int, duration: float) -> None:
+        iteration = self.app.completed_iterations
+        self.app.record_iteration(procs, duration)
+        if self.tuner is not None and not (
+            self.analyzer is not None and self.analyzer.in_baseline
+        ):
+            self.tuner.observe(procs, duration)
+        if self.analyzer is not None:
+            report = self.analyzer.on_iteration(self.sim.now, iteration, procs, duration)
+            if report is not None:
+                self.host.deliver_report(self.job, report)
+        self._begin_iteration()
+
+    def _begin_teardown(self) -> None:
+        self.phase = JobPhase.TEARDOWN
+        duration = self.job.spec.t_teardown * self._noise()
+        self.sim.schedule_after(
+            duration, self._complete, label=f"teardown:{self.job.job_id}"
+        )
+
+    def _complete(self) -> None:
+        self.phase = JobPhase.DONE
+        self.app.finished = True
+        self.host.job_completed(self.job)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _noise(self) -> float:
+        return self._streams.lognormal_factor(self._noise_stream, self.config.noise_sigma)
+
+    @property
+    def progress(self) -> float:
+        """Fraction of iterations completed, in [0, 1]."""
+        return self.app.completed_iterations / self.job.spec.iterations

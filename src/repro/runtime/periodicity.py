@@ -1,0 +1,116 @@
+"""Dynamic Periodicity Detector (DPD).
+
+When only a binary executable is available, the SelfAnalyzer cannot be
+inserted by the compiler; the NANOS environment instead injects it
+with a dynamic interposition tool and discovers the application's
+iterative structure at runtime.  The detector "receives as input the
+sequence of parallel loops executed (the address of the encapsulated
+loop), and generates a Boolean indicating if it corresponds with the
+initial period of a loop or not" (Freitag, Corbalan, Labarta;
+IPDPS 2001).
+
+This implementation watches the stream of region identifiers, finds
+the shortest repeating period over a sliding window, and flags the
+first element of each period once the period has been confirmed a
+configurable number of times.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+
+class PeriodicityDetector:
+    """Online detector of the shortest repeating period in a stream.
+
+    Parameters
+    ----------
+    max_period:
+        Longest period length considered (bounds memory and work).
+    confirmations:
+        Number of full consecutive repetitions required before a
+        period is reported as established.
+
+    Example
+    -------
+    >>> dpd = PeriodicityDetector(max_period=4, confirmations=2)
+    >>> flags = [dpd.observe(x) for x in [1, 2, 3, 1, 2, 3, 1, 2, 3, 1]]
+    >>> dpd.period
+    3
+    >>> flags[-1]   # the last observation starts a new period
+    True
+    """
+
+    def __init__(self, max_period: int = 64, confirmations: int = 2) -> None:
+        if max_period < 1:
+            raise ValueError(f"max_period must be >= 1, got {max_period}")
+        if confirmations < 1:
+            raise ValueError(f"confirmations must be >= 1, got {confirmations}")
+        self.max_period = max_period
+        self.confirmations = confirmations
+        self._history: List[Hashable] = []
+        self._period: Optional[int] = None
+
+    @property
+    def period(self) -> Optional[int]:
+        """The established period length, or ``None`` if undetected."""
+        return self._period
+
+    @property
+    def established(self) -> bool:
+        """Whether a period has been confirmed."""
+        return self._period is not None
+
+    def observe(self, region: Hashable) -> bool:
+        """Feed one region identifier; return True at period starts.
+
+        The return value is the Boolean the paper describes: it is
+        True when the new observation begins a fresh repetition of the
+        established period (and on the observation that first
+        establishes it), False otherwise.
+        """
+        self._history.append(region)
+        # Bound memory: keep just enough history to confirm the
+        # longest admissible period the required number of times.
+        keep = self.max_period * (self.confirmations + 1)
+        if len(self._history) > keep:
+            self._history = self._history[-keep:]
+
+        if self._period is None:
+            self._period = self._detect()
+            if self._period is not None:
+                return True
+            return False
+
+        # With a period established, check it still holds; if the
+        # application changed behaviour, drop it and start over.
+        p = self._period
+        if len(self._history) > p and self._history[-1] != self._history[-1 - p]:
+            self._period = None
+            return False
+        # A new period starts every p observations after establishment.
+        return (len(self._history) - 1) % p == 0
+
+    def _detect(self) -> Optional[int]:
+        """Find the shortest period confirmed enough times, if any."""
+        history = self._history
+        for period in range(1, self.max_period + 1):
+            needed = period * (self.confirmations + 1)
+            if len(history) < needed:
+                # History only grows; longer periods need even more.
+                break
+            window = history[-needed:]
+            if self._is_periodic(window, period):
+                return period
+        return None
+
+    @staticmethod
+    def _is_periodic(window: List[Hashable], period: int) -> bool:
+        return all(
+            window[i] == window[i + period] for i in range(len(window) - period)
+        )
+
+    def reset(self) -> None:
+        """Forget all history (e.g. when the working set changes)."""
+        self._history.clear()
+        self._period = None

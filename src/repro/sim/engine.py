@@ -1,0 +1,280 @@
+"""Deterministic discrete-event engine.
+
+The engine is a classic calendar queue built on :mod:`heapq`.  Events
+are callbacks scheduled at absolute simulation times.  Two events at
+the same time are ordered first by an explicit integer *priority*
+(lower runs first) and then by insertion order, which makes every run
+fully deterministic for a given seed and schedule.
+
+Example
+-------
+>>> sim = Simulator()
+>>> seen = []
+>>> _ = sim.schedule_at(1.0, lambda: seen.append("a"))
+>>> _ = sim.schedule_at(0.5, lambda: seen.append("b"))
+>>> sim.run()
+1.0
+>>> seen
+['b', 'a']
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation engine.
+
+    Typical causes are scheduling an event in the past or running a
+    simulator that has been explicitly stopped with an error.
+    """
+
+
+class Event:
+    """A single scheduled callback.
+
+    Events should be created through :meth:`Simulator.schedule_at` or
+    :meth:`Simulator.schedule_after`, never directly.  An event can be
+    cancelled before it fires; cancellation is O(1) (the event is left
+    in the heap and skipped when popped).
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time at which the callback fires.
+    priority:
+        Tie-break for events at the same time; lower fires first.
+    label:
+        Free-form description used in error messages and debugging.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "label", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        label: str,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.
+
+        Cancelling an already-fired or already-cancelled event is a
+        harmless no-op.
+        """
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+    def sort_key(self) -> tuple:
+        """Ordering key: (time, priority, insertion sequence)."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"Event(t={self.time:.6f}, prio={self.priority}, {self.label!r}, {state})"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` objects with lazy deletion."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._live = 0
+
+    def push(self, event: Event) -> None:
+        """Insert *event* into the queue."""
+        heapq.heappush(self._heap, event)
+        self._live += 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event.
+
+        Returns ``None`` when the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Bookkeeping hook called when a pushed event is cancelled."""
+        self._live -= 1
+
+    def __len__(self) -> int:
+        return max(self._live, 0)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None
+
+
+class Simulator:
+    """Discrete-event simulator with a monotonically advancing clock.
+
+    The simulator is deliberately small: it owns the clock and the
+    event queue, and nothing else.  All domain state lives in the
+    components that schedule callbacks on it.
+
+    Parameters
+    ----------
+    start_time:
+        Initial clock value (defaults to 0).
+    """
+
+    #: Default priority for ordinary events.
+    PRIORITY_NORMAL = 100
+    #: Priority for bookkeeping that must run before normal events.
+    PRIORITY_EARLY = 10
+    #: Priority for events that must observe everything else first.
+    PRIORITY_LATE = 1000
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (for diagnostics)."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule *callback(*args)* at absolute time *time*.
+
+        Raises
+        ------
+        SimulationError
+            If *time* lies in the past.
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at t={time} before now={self._now}"
+            )
+        event = Event(max(time, self._now), priority, next(self._seq), callback, args, label)
+        self._queue.push(event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule *callback(*args)* after a non-negative *delay*."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for event {label!r}")
+        return self.schedule_at(
+            self._now + delay, callback, *args, priority=priority, label=label
+        )
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event completes."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, *until* passes, or stop().
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire strictly
+            after this time; the clock is advanced to ``until``.
+        max_events:
+            Safety valve for tests; raise if more events fire.
+
+        Returns
+        -------
+        float
+            The simulation time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired_this_run = 0
+        try:
+            while True:
+                if self._stopped:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = max(self._now, until)
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self._now = event.time
+                self._events_fired += 1
+                fired_this_run += 1
+                if max_events is not None and fired_this_run > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a runaway schedule"
+                    )
+                event.callback(*event.args)
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._queue.peek_time() is None:
+            # Queue drained before the horizon: clock still advances to it.
+            self._now = max(self._now, until)
+        return self._now

@@ -1,0 +1,151 @@
+"""Run validation: invariants every correct execution must satisfy.
+
+A scheduling simulator is only as trustworthy as its bookkeeping.
+:func:`validate_run` audits a completed :class:`~repro.experiments.RunOutput`
+against the structural invariants of the system and returns the list
+of violations (empty = clean).  It is used by the test suite as a
+failure-injection detector and is part of the public API so users can
+assert their own experiments' integrity.
+
+Checked invariants
+------------------
+* **job accounting** — every record has ``submit <= start <= end``;
+  response = wait + execution.
+* **burst sanity** — bursts have positive duration and never overlap
+  on the same CPU.
+* **capacity** — at no instant do concurrent bursts exceed the
+  machine size.
+* **trace/record consistency** — a job's bursts fall inside its
+  [start, end] window.
+* **reallocation records** — chain correctly (each change's
+  ``old_procs`` equals the previous change's ``new_procs``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.common import RunOutput
+
+#: tolerance for floating-point time comparisons
+_EPS = 1e-6
+
+
+def validate_run(out: RunOutput) -> List[str]:
+    """Audit one run; returns human-readable violations (empty = ok)."""
+    problems: List[str] = []
+    problems.extend(_check_job_accounting(out))
+    problems.extend(_check_burst_sanity(out))
+    problems.extend(_check_capacity(out))
+    problems.extend(_check_trace_consistency(out))
+    problems.extend(_check_reallocation_chains(out))
+    return problems
+
+
+def assert_valid(out: RunOutput) -> None:
+    """Raise ``AssertionError`` listing all violations, if any."""
+    problems = validate_run(out)
+    if problems:
+        raise AssertionError(
+            f"{len(problems)} invariant violation(s):\n" + "\n".join(problems)
+        )
+
+
+def _check_job_accounting(out: RunOutput) -> List[str]:
+    problems = []
+    for record in out.result.records:
+        if not (record.submit_time - _EPS <= record.start_time <= record.end_time + _EPS):
+            problems.append(
+                f"job {record.job_id}: times out of order "
+                f"(submit {record.submit_time}, start {record.start_time}, "
+                f"end {record.end_time})"
+            )
+        recomposed = record.wait_time + record.execution_time
+        if abs(recomposed - record.response_time) > _EPS:
+            problems.append(
+                f"job {record.job_id}: wait+exec != response "
+                f"({recomposed} != {record.response_time})"
+            )
+    return problems
+
+
+def _check_burst_sanity(out: RunOutput) -> List[str]:
+    problems = []
+    by_cpu = {}
+    for burst in out.trace.bursts:
+        if burst.duration <= 0:
+            problems.append(f"cpu {burst.cpu}: non-positive burst {burst}")
+        by_cpu.setdefault(burst.cpu, []).append(burst)
+    for cpu, bursts in by_cpu.items():
+        bursts.sort(key=lambda b: b.start)
+        for a, b in zip(bursts, bursts[1:]):
+            if b.start < a.end - _EPS:
+                problems.append(
+                    f"cpu {cpu}: overlapping bursts "
+                    f"[{a.start:.3f},{a.end:.3f}] ({a.app_name}) and "
+                    f"[{b.start:.3f},{b.end:.3f}] ({b.app_name})"
+                )
+    return problems
+
+
+def _check_capacity(out: RunOutput) -> List[str]:
+    """Sweep burst edges; concurrent bursts must fit the machine."""
+    events = []
+    for burst in out.trace.bursts:
+        events.append((burst.start, 1))
+        events.append((burst.end, -1))
+    events.sort()
+    live = 0
+    peak = 0
+    for _, delta in events:
+        live += delta
+        peak = max(peak, live)
+    if peak > out.trace.n_cpus:
+        return [f"capacity exceeded: {peak} concurrent bursts on "
+                f"{out.trace.n_cpus} CPUs"]
+    return []
+
+
+def _check_trace_consistency(out: RunOutput) -> List[str]:
+    problems = []
+    windows = {
+        record.job_id: (record.start_time, record.end_time)
+        for record in out.result.records
+    }
+    for burst in out.trace.bursts:
+        window = windows.get(burst.job_id)
+        if window is None:
+            continue  # e.g. ablation jobs not in records
+        start, end = window
+        if burst.start < start - _EPS or burst.end > end + _EPS:
+            problems.append(
+                f"job {burst.job_id}: burst [{burst.start:.3f},{burst.end:.3f}] "
+                f"outside its execution window [{start:.3f},{end:.3f}]"
+            )
+    return problems
+
+
+def _check_reallocation_chains(out: RunOutput) -> List[str]:
+    problems = []
+    by_job = {}
+    for record in sorted(out.trace.reallocations, key=lambda r: r.time):
+        by_job.setdefault(record.job_id, []).append(record)
+    for job_id, chain in by_job.items():
+        if chain[0].old_procs != 0:
+            problems.append(
+                f"job {job_id}: first allocation record starts from "
+                f"{chain[0].old_procs}, expected 0"
+            )
+        for a, b in zip(chain, chain[1:]):
+            if a.new_procs != b.old_procs:
+                problems.append(
+                    f"job {job_id}: reallocation chain broken at t={b.time:.3f} "
+                    f"({a.new_procs} -> {b.old_procs})"
+                )
+        for record in chain:
+            if record.new_procs < 1:
+                problems.append(
+                    f"job {job_id}: allocated {record.new_procs} CPUs at "
+                    f"t={record.time:.3f}"
+                )
+    return problems

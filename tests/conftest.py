@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.application import AppClass, ApplicationSpec
+from repro.apps.speedup import AmdahlSpeedup, TabulatedSpeedup
+from repro.core.params import PDPAParams
+from repro.experiments.common import ExperimentConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """Deterministic random streams."""
+    return RandomStreams(1234)
+
+
+@pytest.fixture
+def linear_app() -> ApplicationSpec:
+    """A perfectly scalable test application (no noise sources)."""
+    return ApplicationSpec(
+        name="linear",
+        app_class=AppClass.HIGH,
+        speedup_model=AmdahlSpeedup(0.0, name="linear"),
+        iterations=10,
+        t_iter_seq=8.0,
+        t_startup=0.0,
+        t_teardown=0.0,
+        default_request=16,
+        measurement_overhead=0.0,
+        realloc_penalty=0.0,
+        realloc_penalty_per_cpu=0.0,
+    )
+
+
+@pytest.fixture
+def amdahl_app() -> ApplicationSpec:
+    """An Amdahl-law application with a 5% serial fraction."""
+    return ApplicationSpec(
+        name="amdahl05",
+        app_class=AppClass.MEDIUM,
+        speedup_model=AmdahlSpeedup(0.05, name="amdahl05"),
+        iterations=20,
+        t_iter_seq=4.0,
+        t_startup=0.1,
+        t_teardown=0.1,
+        default_request=24,
+    )
+
+
+@pytest.fixture
+def flat_app() -> ApplicationSpec:
+    """A non-scalable application (apsi-like)."""
+    return ApplicationSpec(
+        name="flat",
+        app_class=AppClass.NONE,
+        speedup_model=TabulatedSpeedup(
+            [(1, 1.0), (2, 1.4), (8, 1.5), (32, 1.3)], name="flat"
+        ),
+        iterations=12,
+        t_iter_seq=2.0,
+        t_startup=0.1,
+        t_teardown=0.1,
+        default_request=2,
+    )
+
+
+@pytest.fixture
+def fast_config() -> ExperimentConfig:
+    """Small-machine config for quick integration runs."""
+    return ExperimentConfig(n_cpus=16, duration=60.0, seed=5)
+
+
+@pytest.fixture
+def pdpa_params() -> PDPAParams:
+    """The paper's parameters (target 0.7, high 0.9, step 4)."""
+    return PDPAParams()

@@ -1,0 +1,112 @@
+"""Tests for EASY backfilling on the batch space-sharing baseline."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.qs.backfill import BackfillQS, estimated_runtime
+from repro.qs.job import Job
+from repro.rm.batch import BatchFCFS
+from repro.rm.irix import IrixResourceManager
+from repro.rm.manager import SpaceSharedResourceManager
+from repro.runtime.nthlib import RuntimeConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def build(jobs, n_cpus=16, backfill=True):
+    sim = Simulator()
+    machine = Machine(n_cpus)
+    rm = SpaceSharedResourceManager(
+        sim, machine, BatchFCFS(), RandomStreams(0),
+        runtime_config=RuntimeConfig(noise_sigma=0.0),
+    )
+    qs_class = BackfillQS if backfill else __import__(
+        "repro.qs.queuing", fromlist=["NanosQS"]
+    ).NanosQS
+    qs = qs_class(sim, rm, jobs)
+    qs.schedule_submissions()
+    return sim, rm, qs
+
+
+class TestEstimate:
+    def test_estimated_runtime_is_ideal_time(self, linear_app):
+        job = Job(1, linear_app, submit_time=0.0, request=8)
+        assert estimated_runtime(job) == pytest.approx(
+            linear_app.execution_time(8)
+        )
+
+
+class TestBackfilling:
+    def test_small_job_jumps_a_stuck_head(self, linear_app):
+        # 10-CPU job running; 12-CPU head cannot start; a 4-CPU job
+        # that finishes before the reservation backfills.
+        jobs = [
+            Job(1, linear_app, submit_time=0.0, request=10),
+            Job(2, linear_app, submit_time=1.0, request=12),
+            Job(3, linear_app, submit_time=2.0, request=4),
+        ]
+        sim, rm, qs = build(jobs)
+        sim.run()
+        assert qs.all_done
+        assert qs.backfilled_jobs >= 1
+        # Job 3 started before job 2 despite arriving later.
+        assert jobs[2].start_time < jobs[1].start_time
+
+    def test_backfill_never_delays_the_head(self, linear_app):
+        jobs = [
+            Job(1, linear_app, submit_time=0.0, request=10),
+            Job(2, linear_app, submit_time=1.0, request=12),
+            Job(3, linear_app, submit_time=2.0, request=4),
+        ]
+        # With backfilling...
+        sim_b, rm_b, qs_b = build([Job(j.job_id, j.spec, j.submit_time, j.request)
+                                   for j in jobs])
+        sim_b.run()
+        head_start_backfill = qs_b.jobs[1].start_time
+        # ...and without.
+        sim_p, rm_p, qs_p = build([Job(j.job_id, j.spec, j.submit_time, j.request)
+                                   for j in jobs], backfill=False)
+        sim_p.run()
+        head_start_plain = qs_p.jobs[1].start_time
+        assert head_start_backfill <= head_start_plain + 1e-6
+
+    def test_improves_utilisation_over_plain_fcfs(self, linear_app):
+        # A stream where plain FCFS leaves half the machine idle.
+        jobs = [Job(1, linear_app, submit_time=0.0, request=10),
+                Job(2, linear_app, submit_time=0.5, request=12)]
+        jobs += [Job(i, linear_app, submit_time=1.0 + 0.1 * i, request=4)
+                 for i in range(3, 9)]
+        def run(backfill):
+            fresh = [Job(j.job_id, j.spec, j.submit_time, j.request) for j in jobs]
+            sim, rm, qs = build(fresh, backfill=backfill)
+            sim.run()
+            return max(j.end_time for j in fresh)
+        assert run(True) < run(False)
+
+    def test_no_backfill_when_nothing_fits(self, linear_app):
+        jobs = [
+            Job(1, linear_app, submit_time=0.0, request=10),
+            Job(2, linear_app, submit_time=1.0, request=12),
+            Job(3, linear_app, submit_time=2.0, request=12),
+        ]
+        sim, rm, qs = build(jobs)
+        sim.run()
+        assert qs.all_done
+        # FCFS order preserved for the two big jobs.
+        assert jobs[1].start_time <= jobs[2].start_time
+
+    def test_requires_space_shared_manager(self, linear_app):
+        sim = Simulator()
+        rm = IrixResourceManager(sim, 16, RandomStreams(0))
+        with pytest.raises(TypeError):
+            BackfillQS(sim, rm, [])
+
+    def test_all_jobs_complete_on_random_stream(self, linear_app, flat_app):
+        jobs = []
+        for i in range(1, 12):
+            spec = linear_app if i % 3 else flat_app
+            jobs.append(Job(i, spec, submit_time=float(i),
+                            request=(i % 5) * 3 + 2))
+        sim, rm, qs = build(jobs)
+        sim.run()
+        assert qs.all_done

@@ -1,0 +1,136 @@
+"""Tests for the calibrated application catalog (Fig. 3 shapes)."""
+
+import pytest
+
+from repro.apps.application import AppClass
+from repro.apps.catalog import APP_CATALOG, APSI, BT, HYDRO2D, SWIM, get_app
+
+
+class TestCatalogContents:
+    def test_all_four_applications_present(self):
+        assert set(APP_CATALOG) == {"swim", "bt.A", "hydro2d", "apsi"}
+
+    def test_classes_match_the_paper(self):
+        assert SWIM.app_class is AppClass.SUPERLINEAR
+        assert BT.app_class is AppClass.HIGH
+        assert HYDRO2D.app_class is AppClass.MEDIUM
+        assert APSI.app_class is AppClass.NONE
+
+    def test_tuned_requests_match_the_paper(self):
+        # "swim, bt, and hydro2d request for 30 processors, and apsi
+        # requests for 2 processors due to its poor scalability."
+        assert SWIM.default_request == 30
+        assert BT.default_request == 30
+        assert HYDRO2D.default_request == 30
+        assert APSI.default_request == 2
+
+
+class TestGetApp:
+    def test_exact_names(self):
+        for name in APP_CATALOG:
+            assert get_app(name).name == name
+
+    @pytest.mark.parametrize("alias,expected", [
+        ("bt", "bt.A"), ("BT", "bt.A"), ("bt.a", "bt.A"),
+        ("hydro", "hydro2d"), ("SWIM", "swim"), ("Apsi", "apsi"),
+    ])
+    def test_aliases(self, alias, expected):
+        assert get_app(alias).name == expected
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_app("linpack")
+
+
+class TestSwimShape:
+    """swim: superlinear in the 8-16 range, flattening after."""
+
+    def test_superlinear_in_paper_range(self):
+        for p in (8, 12, 16):
+            assert SWIM.speedup_model.speedup(p) > p
+
+    def test_flattens_past_the_superlinear_range(self):
+        s = SWIM.speedup_model
+        early_gain = s.speedup(16) - s.speedup(12)
+        late_gain = s.speedup(30) - s.speedup(24)
+        assert late_gain < early_gain / 2
+
+    def test_relative_speedup_drops_past_16(self):
+        # The property the paper uses to explain why swim gets fewer
+        # processors than bt: past 16 the RelativeSpeedup no longer
+        # keeps pace with the processor increase.
+        s = SWIM.speedup_model
+        ratio = s.speedup(20) / s.speedup(16)
+        assert ratio < (20 / 16) * 0.9
+
+
+class TestBtShape:
+    """bt.A: good, progressive scalability."""
+
+    def test_efficiency_above_target_at_30(self):
+        assert BT.speedup_model.efficiency(30) >= 0.7
+
+    def test_never_superlinear(self):
+        for p in (2, 8, 16, 30, 60):
+            assert BT.speedup_model.speedup(p) <= p
+
+    def test_monotonically_increasing(self):
+        values = [BT.speedup_model.speedup(p) for p in range(1, 61)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+class TestHydroShape:
+    """hydro2d: medium scalability, saturating near 12x."""
+
+    def test_efficiency_target_crossing_near_10(self):
+        eff = HYDRO2D.speedup_model.efficiency
+        assert eff(10) >= 0.7
+        assert eff(13) < 0.7
+
+    def test_saturates(self):
+        s = HYDRO2D.speedup_model
+        assert s.speedup(60) < 13
+
+    def test_measurement_overhead_is_largest(self):
+        # "hydro2d is an application that suffers overhead due to the
+        # measurement process."
+        others = [SWIM, BT, APSI]
+        assert HYDRO2D.measurement_overhead > max(o.measurement_overhead for o in others)
+
+
+class TestApsiShape:
+    """apsi: does not scale at all."""
+
+    def test_peak_speedup_below_two(self):
+        assert max(APSI.speedup_model.speedup(p) for p in range(1, 61)) < 2.0
+
+    def test_acceptable_efficiency_only_at_tiny_allocations(self):
+        eff = APSI.speedup_model.efficiency
+        assert eff(2) >= 0.7
+        assert eff(4) < 0.7
+
+    def test_degrades_at_scale(self):
+        s = APSI.speedup_model
+        assert s.speedup(60) < s.speedup(8)
+
+
+class TestCalibration:
+    """Execution times land in the ranges the paper reports."""
+
+    def test_bt_execution_time_at_30(self):
+        assert 80 <= BT.execution_time(30) <= 110
+
+    def test_apsi_execution_time_at_2(self):
+        assert 90 <= APSI.execution_time(2) <= 115
+
+    def test_hydro_execution_time_at_30(self):
+        assert 30 <= HYDRO2D.execution_time(30) <= 45
+
+    def test_swim_execution_time_at_30(self):
+        assert 5 <= SWIM.execution_time(30) <= 15
+
+    def test_bt_dominates_cpu_demand(self):
+        # bt is the heavyweight of the mixes; its demand per job
+        # exceeds every other application's severalfold.
+        others = [SWIM, HYDRO2D, APSI]
+        assert BT.cpu_demand() > 2 * max(o.cpu_demand() for o in others)

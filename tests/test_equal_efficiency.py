@@ -1,0 +1,152 @@
+"""Unit tests for the Equal_efficiency policy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.qs.job import Job
+from repro.rm.base import JobView, SystemView
+from repro.rm.equal_efficiency import (
+    MAX_PREDICTED_EFFICIENCY,
+    EqualEfficiency,
+    fit_overhead,
+    predicted_efficiency,
+    water_fill,
+)
+from repro.runtime.selfanalyzer import PerformanceReport
+
+
+def report(job_id, procs, speedup, time=10.0):
+    return PerformanceReport(job_id=job_id, time=time, iteration=5,
+                             procs=procs, speedup=speedup, iter_time=1.0)
+
+
+def view_of(app, allocations, requests=None, total=60):
+    jobs = {}
+    for job_id, alloc in allocations.items():
+        request = (requests or {}).get(job_id, 30)
+        job = Job(job_id, app, submit_time=0.0, request=request)
+        jobs[job_id] = JobView(job=job, allocation=alloc)
+    return SystemView(total, jobs)
+
+
+class TestOverheadModel:
+    def test_fit_perfect_efficiency_gives_zero(self):
+        assert fit_overhead(10, 1.0) == pytest.approx(0.0)
+
+    def test_fit_single_processor_gives_zero(self):
+        assert fit_overhead(1, 0.4) == 0.0
+
+    def test_fit_roundtrips_through_prediction(self):
+        a = fit_overhead(10, 0.7)
+        assert predicted_efficiency(a, 10) == pytest.approx(0.7)
+
+    def test_fit_rejects_nonpositive_efficiency(self):
+        with pytest.raises(ValueError):
+            fit_overhead(10, 0.0)
+
+    def test_prediction_decreases_for_positive_overhead(self):
+        a = fit_overhead(10, 0.7)
+        assert predicted_efficiency(a, 20) < 0.7
+        assert predicted_efficiency(a, 5) > 0.7
+
+    def test_superlinear_prediction_clamped(self):
+        a = fit_overhead(10, 1.4)  # negative overhead
+        assert predicted_efficiency(a, 60) <= MAX_PREDICTED_EFFICIENCY
+
+    def test_prediction_validation(self):
+        with pytest.raises(ValueError):
+            predicted_efficiency(0.0, 0)
+
+
+class TestWaterFill:
+    def test_equal_jobs_get_equal_allocations(self):
+        alloc = water_fill(60, {1: 30, 2: 30}, {1: 0.02, 2: 0.02})
+        assert alloc[1] == alloc[2] == 30
+
+    def test_better_efficiency_wins_processors(self):
+        alloc = water_fill(20, {1: 30, 2: 30}, {1: 0.01, 2: 0.3})
+        assert alloc[1] > alloc[2]
+        assert alloc[1] + alloc[2] == 20
+
+    def test_caps_at_request(self):
+        alloc = water_fill(60, {1: 2, 2: 30}, {1: 0.0, 2: 0.0})
+        assert alloc[1] == 2
+
+    def test_everyone_starts_with_one(self):
+        alloc = water_fill(3, {1: 30, 2: 30, 3: 30}, {})
+        assert all(v == 1 for v in alloc.values())
+
+    def test_too_many_jobs_raises(self):
+        with pytest.raises(ValueError):
+            water_fill(1, {1: 5, 2: 5}, {})
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        total=st.integers(4, 64),
+        jobs=st.dictionaries(
+            st.integers(1, 12),
+            st.tuples(st.integers(1, 40), st.floats(-0.05, 0.5)),
+            min_size=1, max_size=6,
+        ),
+    )
+    def test_conservation_and_bounds(self, total, jobs):
+        requests = {jid: req for jid, (req, _) in jobs.items()}
+        overheads = {jid: a for jid, (_, a) in jobs.items()}
+        if total < len(requests):
+            return
+        alloc = water_fill(total, requests, overheads)
+        assert sum(alloc.values()) <= total
+        for jid in requests:
+            assert 1 <= alloc[jid] <= max(1, requests[jid])
+
+
+class TestPolicy:
+    def test_new_job_extrapolates_optimistically(self, linear_app):
+        # Contended machine: 40 CPUs, two 30-CPU requests.
+        policy = EqualEfficiency()
+        system = view_of(linear_app, {1: 30}, total=40)
+        # Job 1 measured poor efficiency; the newcomer has none yet.
+        policy._overheads[1] = fit_overhead(30, 0.3)
+        new_job = Job(2, linear_app, submit_time=0.0, request=30)
+        decision = policy.on_job_arrival(new_job, system)
+        assert decision[2] > decision[1]
+
+    def test_report_refits_and_rebalances(self, linear_app, flat_app):
+        policy = EqualEfficiency()
+        good = Job(1, linear_app, submit_time=0.0, request=30)
+        bad = Job(2, flat_app, submit_time=0.0, request=30)
+        system = SystemView(40, {
+            1: JobView(job=good, allocation=20),
+            2: JobView(job=bad, allocation=20),
+        })
+        policy.on_job_arrival(good, view_of(linear_app, {}, total=40))
+        policy.on_job_arrival(bad, view_of(linear_app, {1: 30}, total=40))
+        decision = policy.on_report(bad, report(2, 20, speedup=1.5), system)
+        # The poorly scaling job is cut back hard.
+        assert decision[2] < decision[1]
+
+    def test_noise_shuffles_allocations(self, linear_app):
+        # The paper's critique: small efficiency changes reshuffle the
+        # machine.  Two same-shape jobs with slightly different noisy
+        # measurements end up with different allocations.
+        policy = EqualEfficiency()
+        j1 = Job(1, linear_app, submit_time=0.0, request=30)
+        j2 = Job(2, linear_app, submit_time=0.0, request=30)
+        system = SystemView(40, {
+            1: JobView(job=j1, allocation=20),
+            2: JobView(job=j2, allocation=20),
+        })
+        policy.on_report(j1, report(1, 20, speedup=20 * 0.82), system)
+        decision = policy.on_report(j2, report(2, 20, speedup=20 * 0.78), system)
+        assert decision[1] != decision[2]
+
+    def test_completion_cleans_state(self, linear_app):
+        policy = EqualEfficiency()
+        job = Job(1, linear_app, submit_time=0.0)
+        policy._overheads[1] = 0.5
+        policy.on_job_removed(job)
+        assert policy.overhead_of(1) == 0.0
+
+    def test_mpl_validation(self):
+        with pytest.raises(ValueError):
+            EqualEfficiency(mpl=0)

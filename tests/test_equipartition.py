@@ -1,0 +1,115 @@
+"""Unit and property tests for the Equipartition policy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.qs.job import Job
+from repro.rm.base import JobView, SystemView
+from repro.rm.equipartition import Equipartition, equal_shares
+
+
+def view_of(linear_app, allocations, requests=None):
+    """Build a SystemView from {job_id: allocation} (+requests)."""
+    jobs = {}
+    for job_id, alloc in allocations.items():
+        request = (requests or {}).get(job_id, 30)
+        job = Job(job_id, linear_app, submit_time=0.0, request=request)
+        jobs[job_id] = JobView(job=job, allocation=alloc)
+    return SystemView(60, jobs)
+
+
+class TestEqualShares:
+    def test_even_split(self):
+        assert equal_shares(60, {1: 30, 2: 30, 3: 30, 4: 30}) == {1: 15, 2: 15, 3: 15, 4: 15}
+
+    def test_caps_at_request(self):
+        shares = equal_shares(60, {1: 2, 2: 30})
+        assert shares[1] == 2
+        assert shares[2] == 30
+
+    def test_redistributes_capped_leftover(self):
+        # Job 1 capped at 4; the other two split the remaining 28.
+        shares = equal_shares(32, {1: 4, 2: 30, 3: 30})
+        assert shares[1] == 4
+        assert shares[2] + shares[3] == 28
+        assert abs(shares[2] - shares[3]) <= 1
+
+    def test_leftover_cpus_spread_one_each(self):
+        shares = equal_shares(10, {1: 30, 2: 30, 3: 30})
+        assert sorted(shares.values()) == [3, 3, 4]
+
+    def test_everyone_gets_at_least_one(self):
+        shares = equal_shares(4, {1: 30, 2: 30, 3: 30, 4: 30})
+        assert all(s == 1 for s in shares.values())
+
+    def test_empty_request_map(self):
+        assert equal_shares(60, {}) == {}
+
+    def test_more_jobs_than_cpus_raises(self):
+        with pytest.raises(ValueError):
+            equal_shares(2, {1: 5, 2: 5, 3: 5})
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        total=st.integers(4, 128),
+        requests=st.dictionaries(st.integers(1, 20), st.integers(1, 64),
+                                 min_size=1, max_size=8),
+    )
+    def test_properties(self, total, requests):
+        if total < len(requests):
+            return
+        shares = equal_shares(total, requests)
+        assert set(shares) == set(requests)
+        # Conservation, bounds and cap.
+        assert sum(shares.values()) <= total
+        for jid, share in shares.items():
+            assert 1 <= share <= max(requests[jid], 1)
+        # Work-conserving: leftover CPUs only if every job is capped.
+        if sum(shares.values()) < total:
+            assert all(shares[jid] >= requests[jid] for jid in requests)
+        # Fairness: uncapped jobs differ by at most one CPU.
+        uncapped = [shares[j] for j in shares if shares[j] < requests[j]]
+        if len(uncapped) > 1:
+            assert max(uncapped) - min(uncapped) <= 1
+
+
+class TestPolicy:
+    def test_arrival_rebalances_everyone(self, linear_app):
+        policy = Equipartition()
+        system = view_of(linear_app, {1: 30, 2: 30})
+        new_job = Job(3, linear_app, submit_time=0.0, request=30)
+        decision = policy.on_job_arrival(new_job, system)
+        assert decision == {1: 20, 2: 20, 3: 20}
+
+    def test_completion_rebalances_survivors(self, linear_app):
+        policy = Equipartition()
+        done = Job(9, linear_app, submit_time=0.0)
+        system = view_of(linear_app, {1: 15, 2: 15})
+        decision = policy.on_job_completion(done, system)
+        assert decision == {1: 30, 2: 30}
+
+    def test_reports_are_ignored(self, linear_app):
+        policy = Equipartition()
+        system = view_of(linear_app, {1: 30})
+        job = system.jobs[1].job
+        assert policy.on_report(job, None, system) == {}
+
+    def test_fixed_mpl_admission(self, linear_app):
+        policy = Equipartition(mpl=2)
+        assert policy.wants_admission(view_of(linear_app, {1: 30}), queued_jobs=1)
+        assert not policy.wants_admission(
+            view_of(linear_app, {1: 30, 2: 30}), queued_jobs=1
+        )
+        assert not policy.wants_admission(view_of(linear_app, {}), queued_jobs=0)
+
+    def test_mpl_validation(self):
+        with pytest.raises(ValueError):
+            Equipartition(mpl=0)
+
+    def test_decision_validates_against_machine_size(self, linear_app):
+        policy = Equipartition()
+        system = view_of(linear_app, {1: 30})
+        with pytest.raises(ValueError):
+            policy.validate_decision({1: 61}, system, arriving=None)
+        with pytest.raises(ValueError):
+            policy.validate_decision({1: 0}, system, arriving=None)

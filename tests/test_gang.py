@@ -1,0 +1,174 @@
+"""Tests for the gang scheduler (Ousterhout matrix baseline)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.qs.job import Job, JobState
+from repro.qs.queuing import NanosQS
+from repro.rm.gang import GangConfig, GangScheduler, pack_rows
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def make_gang(n_cpus=16, config=None, seed=0):
+    sim = Simulator()
+    rm = GangScheduler(sim, n_cpus, RandomStreams(seed), config=config)
+    return sim, rm
+
+
+class TestConfig:
+    @pytest.mark.parametrize("bad", [
+        dict(quantum=0.0),
+        dict(switch_overhead=1.0),
+        dict(switch_overhead=-0.1),
+        dict(max_jobs=0),
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            GangConfig(**bad)
+
+
+class TestPacking:
+    def test_single_row_when_everything_fits(self):
+        rows = pack_rows({1: 8, 2: 4, 3: 4}, capacity=16)
+        assert len(rows) == 1
+        assert sorted(rows[0]) == [1, 2, 3]
+
+    def test_overflow_opens_new_row(self):
+        rows = pack_rows({1: 10, 2: 10}, 16)
+        assert len(rows) == 2
+
+    def test_first_fit_decreasing_packs_tightly(self):
+        # 12+4 and 8+8 fit in two rows of 16; naive order would use 3.
+        rows = pack_rows({1: 12, 2: 8, 3: 8, 4: 4}, 16)
+        assert len(rows) == 2
+
+    def test_oversized_request_clamped_to_capacity(self):
+        rows = pack_rows({1: 99}, 16)
+        assert rows == [[1]]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            pack_rows({1: 4}, 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.dictionaries(st.integers(1, 20), st.integers(1, 20),
+                           min_size=1, max_size=10))
+    def test_rows_never_overflow(self, requests):
+        capacity = 16
+        rows = pack_rows(requests, capacity)
+        packed = [jid for row in rows for jid in row]
+        assert sorted(packed) == sorted(requests)
+        for row in rows:
+            assert sum(min(requests[j], capacity) for j in row) <= capacity
+
+
+class TestScheduling:
+    def test_single_job_runs_near_dedicated_speed(self, linear_app):
+        sim, rm = make_gang()
+        job = Job(1, linear_app, submit_time=0.0, request=16)
+        rm.start_job(job)
+        sim.run()
+        dedicated = linear_app.execution_time(16)
+        assert job.state is JobState.DONE
+        # Only the switch overhead separates it from dedicated.
+        assert job.execution_time < dedicated * 1.1
+
+    def test_two_rows_halve_the_rate(self, linear_app):
+        sim, rm = make_gang()
+        j1 = Job(1, linear_app, submit_time=0.0, request=12)
+        j2 = Job(2, linear_app, submit_time=0.0, request=12)
+        rm.start_job(j1)
+        rm.start_job(j2)
+        assert rm.n_rows == 2
+        sim.run()
+        dedicated = linear_app.execution_time(12)
+        assert j1.execution_time > 1.8 * dedicated
+
+    def test_row_collapse_speeds_up_survivors(self, linear_app, flat_app):
+        sim, rm = make_gang()
+        # The linear job (seq 80 s, S(12)=12) finishes long before the
+        # flat one (seq ~24 s, S(12)~1.5): the flat job survives alone.
+        short = Job(1, linear_app, submit_time=0.0, request=12)
+        survivor = Job(2, flat_app.with_request(12), submit_time=0.0, request=12)
+        rm.start_job(short)
+        rm.start_job(survivor)
+        sim.run()
+        assert short.end_time < survivor.end_time
+        # Once alone, the survivor ran at full duty; its total must
+        # beat the permanent two-row bound.
+        dedicated = flat_app.with_request(12).execution_time(12)
+        assert survivor.execution_time < 1.9 * dedicated
+
+    def test_unlimited_admission_by_default(self, linear_app):
+        sim, rm = make_gang()
+        for i in range(1, 8):
+            rm.start_job(Job(i, linear_app, submit_time=0.0, request=16))
+        assert rm.running_count == 7
+        assert rm.n_rows == 7
+
+    def test_max_jobs_cap(self, linear_app):
+        sim, rm = make_gang(config=GangConfig(max_jobs=2))
+        assert rm.can_admit(1)
+        rm.start_job(Job(1, linear_app, submit_time=0.0, request=4))
+        rm.start_job(Job(2, linear_app, submit_time=0.0, request=4))
+        assert not rm.can_admit(1)
+
+    def test_queue_integration(self, linear_app, flat_app):
+        sim, rm = make_gang()
+        jobs = [
+            Job(1, linear_app, submit_time=0.0, request=12),
+            Job(2, flat_app, submit_time=1.0, request=4),
+            Job(3, linear_app, submit_time=2.0, request=16),
+        ]
+        qs = NanosQS(sim, rm, jobs)
+        qs.schedule_submissions()
+        sim.run()
+        rm.finalize()
+        assert qs.all_done
+
+    def test_trace_accounting(self, linear_app):
+        from repro.metrics.paraver import burst_statistics
+        from repro.metrics.trace import TraceRecorder
+
+        sim = Simulator()
+        trace = TraceRecorder(16)
+        rm = GangScheduler(sim, 16, RandomStreams(0), trace)
+        rm.start_job(Job(1, linear_app, submit_time=0.0, request=12))
+        rm.start_job(Job(2, linear_app, submit_time=0.0, request=12))
+        sim.run()
+        rm.finalize()
+        stats = burst_statistics(trace)
+        # Two rows: bursts are quantum-sized.
+        assert stats.avg_burst_time <= rm.config.quantum * 1.5
+        assert stats.migrations > 0
+
+
+class TestVersusPdpa:
+    def test_gang_wastes_capacity_on_poor_scalers(self, linear_app, flat_app):
+        """A gang cannot shrink the non-scaling job: the scalable job
+        pays for it with a halved duty cycle."""
+        from repro.apps.catalog import scaled_spec
+        from repro.experiments.common import ExperimentConfig, run_jobs
+
+        config = ExperimentConfig(n_cpus=16, seed=0, noise_sigma=0.0)
+        # A long scalable job, so the SelfAnalyzer's one-off baseline
+        # cost amortises and the steady-state rates dominate.
+        big_linear = scaled_spec(linear_app, 5.0)
+        def fresh_jobs():
+            return [
+                Job(1, flat_app.with_request(12), submit_time=0.0, request=12),
+                Job(2, big_linear, submit_time=0.0, request=12),
+            ]
+
+        sim = Simulator()
+        gang = GangScheduler(sim, 16, RandomStreams(0))
+        jobs = fresh_jobs()
+        for job in jobs:
+            gang.start_job(job)
+        sim.run()
+        gang_linear_exec = jobs[1].execution_time
+
+        pdpa_out = run_jobs("PDPA", fresh_jobs(), config)
+        pdpa_linear_exec = pdpa_out.result.records[1].execution_time
+        assert pdpa_linear_exec < gang_linear_exec

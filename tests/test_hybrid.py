@@ -1,0 +1,167 @@
+"""Tests for MPI+OpenMP hybrid applications (paper §6 extension)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.hybrid import (
+    HybridSpeedup,
+    balanced_distribution,
+    imbalance_factor,
+    step_time,
+    uniform_distribution,
+)
+from repro.apps.speedup import AmdahlSpeedup
+
+
+LINEAR = AmdahlSpeedup(0.0, name="linear")
+AMDAHL = AmdahlSpeedup(0.05, name="amdahl")
+
+
+class TestDistributions:
+    def test_uniform_even_split(self):
+        assert uniform_distribution(8, 4) == [2, 2, 2, 2]
+
+    def test_uniform_remainder_goes_first(self):
+        assert uniform_distribution(10, 4) == [3, 3, 2, 2]
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            uniform_distribution(3, 4)
+        with pytest.raises(ValueError):
+            uniform_distribution(4, 0)
+
+    def test_balanced_equal_weights_matches_uniform(self):
+        assert sorted(balanced_distribution(8, [1, 1, 1, 1], LINEAR)) == \
+            sorted(uniform_distribution(8, 4))
+
+    def test_balanced_feeds_the_heavy_process(self):
+        cpus = balanced_distribution(8, [3.0, 1.0, 1.0, 1.0], LINEAR)
+        assert cpus[0] > max(cpus[1:])
+        assert sum(cpus) == 8
+
+    def test_balanced_equalises_finish_times(self):
+        weights = [4.0, 2.0, 1.0, 1.0]
+        cpus = balanced_distribution(16, weights, LINEAR)
+        times = [w / LINEAR.speedup(c) for w, c in zip(weights, cpus)]
+        assert max(times) / min(times) <= 2.01
+
+    def test_balanced_validation(self):
+        with pytest.raises(ValueError):
+            balanced_distribution(2, [1, 1, 1], LINEAR)
+        with pytest.raises(ValueError):
+            balanced_distribution(8, [1, -1], LINEAR)
+        with pytest.raises(ValueError):
+            balanced_distribution(8, [], LINEAR)
+
+    def test_step_time_is_the_bottleneck(self):
+        assert step_time([2, 2], [2.0, 1.0], LINEAR) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            step_time([2], [1.0, 1.0], LINEAR)
+
+
+class TestHybridSpeedup:
+    def test_balanced_weights_linear_inner_is_ideal(self):
+        curve = HybridSpeedup([1, 1, 1, 1], LINEAR, balanced=True)
+        for p in (4, 8, 16):
+            assert curve.speedup(p) == pytest.approx(p)
+
+    def test_imbalance_hurts_uniform_more(self):
+        weights = [3.0, 1.0, 1.0, 1.0]
+        balanced = HybridSpeedup(weights, LINEAR, balanced=True)
+        uniform = HybridSpeedup(weights, LINEAR, balanced=False)
+        for p in (8, 16, 24):
+            assert balanced.speedup(p) > uniform.speedup(p) * 1.2
+
+    def test_uniform_bottlenecked_by_heavy_process(self):
+        # 4 processes, heavy one has half the work: uniform split of
+        # 8 CPUs gives it 2, so the step takes 3/2 units -> S = 6/1.5.
+        curve = HybridSpeedup([3.0, 1.0, 1.0, 1.0], LINEAR, balanced=False)
+        assert curve.speedup(8) == pytest.approx(6.0 / (3.0 / 2.0))
+
+    def test_folding_below_one_cpu_per_process(self):
+        curve = HybridSpeedup([1, 1, 1, 1], LINEAR, balanced=True)
+        minimal = curve.speedup(4)
+        assert curve.speedup(2) == pytest.approx(minimal / 2)
+        assert curve.speedup(0) == 0.0
+
+    def test_amdahl_inner_limits_scaling(self):
+        curve = HybridSpeedup([1, 1], AMDAHL, balanced=True)
+        assert curve.speedup(64) < 2 / 0.05  # 2 * inner asymptote
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HybridSpeedup([], LINEAR)
+        with pytest.raises(ValueError):
+            HybridSpeedup([1.0, 0.0], LINEAR)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        weights=st.lists(st.floats(0.5, 5.0), min_size=1, max_size=6),
+        procs=st.integers(1, 48),
+    )
+    def test_balanced_never_worse_than_uniform(self, weights, procs):
+        if procs < len(weights):
+            return
+        balanced = HybridSpeedup(weights, AMDAHL, balanced=True)
+        uniform = HybridSpeedup(weights, AMDAHL, balanced=False)
+        assert balanced.speedup(procs) >= uniform.speedup(procs) - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        weights=st.lists(st.floats(0.5, 5.0), min_size=1, max_size=6),
+        procs=st.integers(1, 48),
+    )
+    def test_speedup_monotone_in_processors(self, weights, procs):
+        curve = HybridSpeedup(weights, AMDAHL, balanced=True)
+        assert curve.speedup(procs + 1) >= curve.speedup(procs) - 1e-9
+
+
+class TestImbalanceFactor:
+    def test_balanced_is_one(self):
+        assert imbalance_factor([2, 2, 2]) == pytest.approx(1.0)
+
+    def test_skewed(self):
+        assert imbalance_factor([3, 1, 1, 1]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            imbalance_factor([])
+
+
+class TestEndToEnd:
+    def test_pdpa_schedules_hybrid_jobs(self):
+        """A hybrid app behaves like any malleable app under PDPA."""
+        from repro.apps.application import AppClass, ApplicationSpec
+        from repro.experiments.common import ExperimentConfig, run_jobs
+        from repro.qs.job import Job
+
+        curve = HybridSpeedup([3.0, 1.0, 1.0, 1.0], AMDAHL, balanced=True,
+                              name="hybrid-cfd")
+        spec = ApplicationSpec(
+            name="hybrid-cfd", app_class=AppClass.MEDIUM,
+            speedup_model=curve, iterations=30, t_iter_seq=6.0,
+            default_request=24,
+        )
+        config = ExperimentConfig(n_cpus=32, seed=2)
+        jobs = [Job(1, spec, submit_time=0.0), Job(2, spec, submit_time=5.0)]
+        out = run_jobs("PDPA", jobs, config)
+        assert all(r.end_time > 0 for r in out.result.records)
+
+    def test_balancing_improves_execution_time(self):
+        from repro.apps.application import AppClass, ApplicationSpec
+        from repro.experiments.common import ExperimentConfig, run_jobs
+        from repro.qs.job import Job
+
+        def run_with(balanced):
+            curve = HybridSpeedup([3.0, 1.0, 1.0, 1.0], AMDAHL,
+                                  balanced=balanced)
+            spec = ApplicationSpec(
+                name="hybrid", app_class=AppClass.MEDIUM,
+                speedup_model=curve, iterations=30, t_iter_seq=6.0,
+                default_request=24,
+            )
+            config = ExperimentConfig(n_cpus=32, seed=2, noise_sigma=0.0)
+            out = run_jobs("PDPA", [Job(1, spec, submit_time=0.0)], config)
+            return out.result.records[0].execution_time
+
+        assert run_with(balanced=True) < run_with(balanced=False)

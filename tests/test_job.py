@@ -1,0 +1,68 @@
+"""Unit tests for the job lifecycle."""
+
+import pytest
+
+from repro.qs.job import Job, JobState
+
+
+class TestLifecycle:
+    def test_initial_state(self, linear_app):
+        job = Job(1, linear_app, submit_time=5.0)
+        assert job.state is JobState.QUEUED
+        assert job.request == linear_app.default_request
+        assert job.app_name == "linear"
+
+    def test_explicit_request_overrides_spec(self, linear_app):
+        job = Job(1, linear_app, submit_time=0.0, request=30)
+        assert job.request == 30
+
+    def test_start_and_finish(self, linear_app):
+        job = Job(1, linear_app, submit_time=5.0)
+        job.mark_started(7.0)
+        assert job.state is JobState.RUNNING
+        job.mark_finished(20.0)
+        assert job.state is JobState.DONE
+
+    def test_cannot_start_twice(self, linear_app):
+        job = Job(1, linear_app, submit_time=0.0)
+        job.mark_started(1.0)
+        with pytest.raises(RuntimeError):
+            job.mark_started(2.0)
+
+    def test_cannot_finish_before_start(self, linear_app):
+        job = Job(1, linear_app, submit_time=0.0)
+        with pytest.raises(RuntimeError):
+            job.mark_finished(1.0)
+
+    def test_cannot_start_before_submission(self, linear_app):
+        job = Job(1, linear_app, submit_time=10.0)
+        with pytest.raises(RuntimeError):
+            job.mark_started(5.0)
+
+    def test_validation(self, linear_app):
+        with pytest.raises(ValueError):
+            Job(1, linear_app, submit_time=-1.0)
+        with pytest.raises(ValueError):
+            Job(1, linear_app, submit_time=0.0, request=0)
+
+
+class TestMetrics:
+    def test_times_none_until_available(self, linear_app):
+        job = Job(1, linear_app, submit_time=5.0)
+        assert job.wait_time is None
+        assert job.execution_time is None
+        assert job.response_time is None
+
+    def test_times_after_completion(self, linear_app):
+        job = Job(1, linear_app, submit_time=5.0)
+        job.mark_started(8.0)
+        job.mark_finished(20.0)
+        assert job.wait_time == pytest.approx(3.0)
+        assert job.execution_time == pytest.approx(12.0)
+        assert job.response_time == pytest.approx(15.0)
+
+    def test_response_is_wait_plus_execution(self, linear_app):
+        job = Job(1, linear_app, submit_time=2.0)
+        job.mark_started(4.0)
+        job.mark_finished(9.0)
+        assert job.response_time == pytest.approx(job.wait_time + job.execution_time)

@@ -1,0 +1,214 @@
+"""Unit and property tests for the machine model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.cpu import CpuState
+from repro.machine.machine import Machine, MachineError
+from repro.metrics.trace import TraceRecorder
+
+
+class TestCpuState:
+    def test_assign_emits_burst_on_switch(self):
+        trace = TraceRecorder(1)
+        cpu = CpuState(0)
+        cpu.assign(1, "a", 0.0, trace)
+        cpu.assign(2, "b", 5.0, trace)
+        assert len(trace.bursts) == 1
+        burst = trace.bursts[0]
+        assert (burst.job_id, burst.start, burst.end) == (1, 0.0, 5.0)
+        assert burst.app_name == "a"
+
+    def test_assign_same_owner_is_noop(self):
+        trace = TraceRecorder(1)
+        cpu = CpuState(0)
+        cpu.assign(1, "a", 0.0, trace)
+        cpu.assign(1, "a", 3.0, trace)
+        assert trace.bursts == []
+
+    def test_assign_returns_previous_owner(self):
+        cpu = CpuState(0)
+        assert cpu.assign(1, "a", 0.0) is None
+        assert cpu.assign(2, "b", 1.0) == 1
+        assert cpu.assign(None, "", 2.0) == 2
+
+    def test_busy_time_accumulates(self):
+        cpu = CpuState(0)
+        cpu.assign(1, "a", 0.0)
+        cpu.assign(None, "", 4.0)
+        cpu.assign(2, "b", 10.0)
+        cpu.assign(None, "", 11.0)
+        assert cpu.busy_time == pytest.approx(5.0)
+
+    def test_flush_closes_open_burst(self):
+        trace = TraceRecorder(1)
+        cpu = CpuState(0)
+        cpu.assign(1, "a", 0.0, trace)
+        cpu.flush(7.0, trace)
+        assert trace.bursts[0].end == 7.0
+        # Flushing twice must not double-count.
+        cpu.flush(7.0, trace)
+        assert len(trace.bursts) == 1
+
+    def test_time_backwards_raises(self):
+        cpu = CpuState(0)
+        cpu.assign(1, "a", 5.0)
+        with pytest.raises(ValueError):
+            cpu.assign(2, "b", 4.0)
+
+
+class TestMachineLifecycle:
+    def test_start_job_allocates(self):
+        machine = Machine(8)
+        machine.start_job(1, "a", 4, 0.0)
+        assert machine.allocation_of(1) == 4
+        assert machine.free_cpus == 4
+        assert machine.running_jobs() == [1]
+
+    def test_start_twice_raises(self):
+        machine = Machine(8)
+        machine.start_job(1, "a", 2, 0.0)
+        with pytest.raises(MachineError):
+            machine.start_job(1, "a", 2, 1.0)
+
+    def test_overcommit_raises(self):
+        machine = Machine(8)
+        machine.start_job(1, "a", 6, 0.0)
+        with pytest.raises(MachineError):
+            machine.start_job(2, "b", 3, 1.0)
+
+    def test_finish_releases(self):
+        machine = Machine(8)
+        machine.start_job(1, "a", 5, 0.0)
+        machine.finish_job(1, 2.0)
+        assert machine.free_cpus == 8
+        assert machine.running_jobs() == []
+
+    def test_finish_unknown_raises(self):
+        with pytest.raises(MachineError):
+            Machine(8).finish_job(42, 0.0)
+
+    def test_grow_and_shrink(self):
+        machine = Machine(8)
+        machine.start_job(1, "a", 2, 0.0)
+        machine.resize_job(1, 6, 1.0)
+        assert machine.allocation_of(1) == 6
+        removed = machine.resize_job(1, 3, 2.0)
+        assert machine.allocation_of(1) == 3
+        assert removed == 3
+
+    def test_resize_to_same_size_is_noop(self):
+        machine = Machine(8)
+        machine.start_job(1, "a", 4, 0.0)
+        assert machine.resize_job(1, 4, 1.0) == 0
+
+    def test_resize_validation(self):
+        machine = Machine(8)
+        machine.start_job(1, "a", 4, 0.0)
+        with pytest.raises(MachineError):
+            machine.resize_job(1, 0, 1.0)
+        with pytest.raises(MachineError):
+            machine.resize_job(1, 9, 1.0)
+        with pytest.raises(MachineError):
+            machine.resize_job(99, 2, 1.0)
+
+    def test_allocations_map(self):
+        machine = Machine(8)
+        machine.start_job(1, "a", 3, 0.0)
+        machine.start_job(2, "b", 2, 0.0)
+        assert machine.allocations() == {1: 3, 2: 2}
+
+
+class TestPlacement:
+    def test_new_partition_is_compact(self):
+        machine = Machine(16)
+        machine.start_job(1, "a", 4, 0.0)
+        cpus = machine.partition_of(1)
+        assert machine.topology.spread(cpus) <= 2
+
+    def test_growth_prefers_nearby_cpus(self):
+        machine = Machine(16)
+        machine.start_job(1, "a", 2, 0.0)
+        machine.start_job(2, "b", 8, 0.0)
+        machine.finish_job(2, 1.0)
+        machine.resize_job(1, 4, 2.0)
+        cpus = machine.partition_of(1)
+        # The partition should stay within 2 nodes (4 cpus, 2/node).
+        assert machine.topology.spread(cpus) <= 2
+
+    def test_shrink_releases_stragglers_first(self):
+        machine = Machine(16)
+        machine.start_job(1, "a", 5, 0.0)  # spans 3 nodes (2+2+1)
+        machine.resize_job(1, 4, 1.0)
+        cpus = machine.partition_of(1)
+        assert machine.topology.spread(cpus) == 2
+
+    def test_partitions_are_disjoint(self):
+        machine = Machine(16)
+        machine.start_job(1, "a", 5, 0.0)
+        machine.start_job(2, "b", 7, 0.0)
+        assert not set(machine.partition_of(1)) & set(machine.partition_of(2))
+
+
+class TestMigrationAccounting:
+    def test_shrink_records_migrations(self):
+        trace = TraceRecorder(8)
+        machine = Machine(8, trace=trace)
+        machine.start_job(1, "a", 6, 0.0)
+        machine.resize_job(1, 2, 1.0)
+        assert trace.migrations == 4
+
+    def test_handoff_records_migration(self):
+        trace = TraceRecorder(8)
+        machine = Machine(8, trace=trace)
+        machine.start_job(1, "a", 8, 0.0)
+        machine.resize_job(1, 4, 1.0)    # 4 migrations (threads fold)
+        machine.start_job(2, "b", 4, 1.0)  # takes freed cpus: no extra
+        assert trace.migrations == 4
+
+    def test_finalize_flushes_bursts(self):
+        trace = TraceRecorder(4)
+        machine = Machine(4, trace=trace)
+        machine.start_job(1, "a", 4, 0.0)
+        machine.finalize(10.0)
+        assert len(trace.bursts) == 4
+        assert all(b.end == 10.0 for b in trace.bursts)
+
+
+@st.composite
+def machine_ops(draw):
+    """A random sequence of partition operations on a small machine."""
+    ops = draw(st.lists(
+        st.tuples(st.sampled_from(["start", "resize", "finish"]),
+                  st.integers(1, 5), st.integers(1, 6)),
+        min_size=1, max_size=30,
+    ))
+    return ops
+
+
+class TestMachineInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(machine_ops())
+    def test_partitions_never_overlap_nor_overcommit(self, ops):
+        machine = Machine(12)
+        now = 0.0
+        for op, job_id, procs in ops:
+            now += 1.0
+            try:
+                if op == "start":
+                    machine.start_job(job_id, f"app{job_id}", procs, now)
+                elif op == "resize":
+                    machine.resize_job(job_id, procs, now)
+                else:
+                    machine.finish_job(job_id, now)
+            except MachineError:
+                continue  # invalid transitions are rejected, state intact
+            # Invariants hold after every successful operation.
+            seen = set()
+            for jid in machine.running_jobs():
+                part = set(machine.partition_of(jid))
+                assert part, f"job {jid} has an empty partition"
+                assert not part & seen, "partitions overlap"
+                seen |= part
+            assert len(seen) <= 12
+            assert machine.free_cpus == 12 - len(seen)

@@ -1,0 +1,135 @@
+"""Tests for the memory-locality (page migration) model."""
+
+import pytest
+
+from repro.machine.memory import LocalityConfig, LocalityModel
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        LocalityConfig()
+
+    @pytest.mark.parametrize("bad", [
+        dict(max_slowdown=1.0),
+        dict(max_slowdown=-0.1),
+        dict(migration_tau=0.0),
+        dict(floor=1.5),
+        dict(floor=-0.1),
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            LocalityConfig(**bad)
+
+
+class TestLifecycle:
+    def test_new_job_is_fully_local(self):
+        model = LocalityModel()
+        model.on_job_start(1, now=0.0)
+        assert model.locality(1, 0.0) == pytest.approx(1.0)
+        assert model.speed_factor(1, 0.0) == pytest.approx(1.0)
+
+    def test_double_start_raises(self):
+        model = LocalityModel()
+        model.on_job_start(1, now=0.0)
+        with pytest.raises(ValueError):
+            model.on_job_start(1, now=1.0)
+
+    def test_untracked_job_runs_at_full_speed(self):
+        model = LocalityModel()
+        assert model.speed_factor(42, 10.0) == pytest.approx(1.0)
+
+    def test_finish_is_idempotent(self):
+        model = LocalityModel()
+        model.on_job_start(1, now=0.0)
+        model.on_job_finish(1)
+        model.on_job_finish(1)
+        assert model.tracked_jobs == 0
+
+    def test_realloc_on_untracked_job_raises(self):
+        with pytest.raises(KeyError):
+            LocalityModel().on_reallocation(9, [0], [1], 0.0)
+
+
+class TestReallocationImpact:
+    def test_keeping_all_cpus_keeps_locality(self):
+        model = LocalityModel()
+        model.on_job_start(1, now=0.0)
+        model.on_reallocation(1, [0, 1, 2, 3], [0, 1, 2, 3], now=1.0)
+        assert model.locality(1, 1.0) == pytest.approx(1.0)
+
+    def test_shrink_keeps_locality_of_retained_cpus(self):
+        # Shrinking retains all CPUs of the new (smaller) partition.
+        model = LocalityModel()
+        model.on_job_start(1, now=0.0)
+        model.on_reallocation(1, [0, 1, 2, 3], [0, 1], now=1.0)
+        assert model.locality(1, 1.0) == pytest.approx(1.0)
+
+    def test_growth_dilutes_locality(self):
+        model = LocalityModel()
+        model.on_job_start(1, now=0.0)
+        model.on_reallocation(1, [0, 1], [0, 1, 2, 3], now=1.0)
+        assert model.locality(1, 1.0) == pytest.approx(0.5)
+
+    def test_full_displacement_hits_the_floor(self):
+        config = LocalityConfig(floor=0.2)
+        model = LocalityModel(config)
+        model.on_job_start(1, now=0.0)
+        model.on_reallocation(1, [0, 1], [2, 3], now=1.0)
+        assert model.locality(1, 1.0) == pytest.approx(0.2)
+
+    def test_repeated_reallocations_compound(self):
+        model = LocalityModel(LocalityConfig(migration_tau=1000.0, floor=0.0))
+        model.on_job_start(1, now=0.0)
+        model.on_reallocation(1, [0, 1], [1, 2], now=0.0)   # 0.5
+        model.on_reallocation(1, [1, 2], [2, 3], now=0.0)   # 0.25
+        assert model.locality(1, 0.0) == pytest.approx(0.25)
+
+
+class TestRecovery:
+    def test_locality_recovers_exponentially(self):
+        config = LocalityConfig(migration_tau=2.0, floor=0.0)
+        model = LocalityModel(config)
+        model.on_job_start(1, now=0.0)
+        model.on_reallocation(1, [0], [1], now=0.0)  # locality -> 0
+        import math
+        assert model.locality(1, 2.0) == pytest.approx(1 - math.exp(-1.0))
+        assert model.locality(1, 20.0) > 0.999
+
+    def test_speed_factor_bounds(self):
+        config = LocalityConfig(max_slowdown=0.3, floor=0.0)
+        model = LocalityModel(config)
+        model.on_job_start(1, now=0.0)
+        model.on_reallocation(1, [0], [1], now=0.0)
+        assert model.speed_factor(1, 0.0) == pytest.approx(0.7)
+        assert 0.7 <= model.speed_factor(1, 5.0) <= 1.0
+
+
+class TestEndToEnd:
+    def test_unstable_policy_pays_the_locality_tax(self):
+        """Equal_efficiency loses more to locality than PDPA."""
+        from dataclasses import replace
+
+        from repro.experiments.common import ExperimentConfig, run_workload
+
+        base = ExperimentConfig(seed=0)
+        off = replace(base, locality=None)
+        strong = replace(
+            base, locality=LocalityConfig(max_slowdown=0.4, migration_tau=10.0)
+        )
+
+        def slowdown(policy):
+            with_model = run_workload(policy, "w2", 1.0, strong).result
+            without = run_workload(policy, "w2", 1.0, off).result
+            return (with_model.mean_response_time / without.mean_response_time)
+
+        assert slowdown("Equal_eff") > slowdown("PDPA") - 0.02
+
+    def test_disabled_model_changes_nothing(self):
+        from dataclasses import replace
+
+        from repro.experiments.common import ExperimentConfig, run_workload
+
+        off = replace(ExperimentConfig(seed=1), locality=None)
+        a = run_workload("PDPA", "w3", 0.6, off).result
+        b = run_workload("PDPA", "w3", 0.6, off).result
+        assert a.mean_response_time == b.mean_response_time

@@ -1,0 +1,46 @@
+"""Unit tests for PDPA parameters."""
+
+import pytest
+
+from repro.core.params import PDPAParams
+
+
+class TestValidation:
+    def test_paper_defaults(self):
+        params = PDPAParams()
+        assert params.target_eff == 0.7
+        assert params.high_eff == 0.9
+        assert params.base_mpl == 4
+
+    @pytest.mark.parametrize("bad", [
+        dict(target_eff=0.0),
+        dict(target_eff=2.0),
+        dict(target_eff=0.9, high_eff=0.7),
+        dict(step=0),
+        dict(base_mpl=0),
+        dict(max_stable_exits=-1),
+        dict(stable_hysteresis=-0.1),
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            PDPAParams(**bad)
+
+    def test_validate_catches_post_hoc_mutation(self):
+        params = PDPAParams()
+        params.step = 0
+        with pytest.raises(ValueError):
+            params.validate()
+
+
+class TestDynamicRetargeting:
+    def test_with_target_returns_new_instance(self):
+        params = PDPAParams()
+        lowered = params.with_target(0.5)
+        assert lowered is not params
+        assert lowered.target_eff == 0.5
+        assert params.target_eff == 0.7
+
+    def test_with_target_keeps_high_eff_consistent(self):
+        params = PDPAParams(target_eff=0.7, high_eff=0.9)
+        raised = params.with_target(0.95)
+        assert raised.high_eff >= raised.target_eff

@@ -1,0 +1,112 @@
+"""Unit and property tests for the Dynamic Periodicity Detector."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.periodicity import PeriodicityDetector
+
+
+class TestDetection:
+    def test_detects_period_one(self):
+        dpd = PeriodicityDetector(confirmations=2)
+        flags = [dpd.observe("loop") for _ in range(5)]
+        assert dpd.period == 1
+        assert any(flags)
+
+    def test_detects_simple_cycle(self):
+        dpd = PeriodicityDetector(confirmations=2)
+        for x in [1, 2, 3] * 3:
+            dpd.observe(x)
+        assert dpd.period == 3
+
+    def test_flags_period_starts_after_establishment(self):
+        dpd = PeriodicityDetector(confirmations=1)
+        stream = [1, 2, 1, 2, 1, 2, 1, 2]
+        flags = [dpd.observe(x) for x in stream]
+        assert dpd.period == 2
+        # Established after 4 observations (period 2, confirmed once).
+        assert flags[3] is True
+        # Afterwards, True recurs exactly at the start of each period
+        # (the "1" elements at even indices).
+        assert flags[4] is True and flags[6] is True
+        assert flags[5] is False and flags[7] is False
+
+    def test_prefers_shortest_period(self):
+        dpd = PeriodicityDetector(confirmations=2)
+        # [1,1,1,1...] is periodic with period 1, 2, 3...; report 1.
+        for _ in range(10):
+            dpd.observe(1)
+        assert dpd.period == 1
+
+    def test_no_false_positive_on_aperiodic_stream(self):
+        dpd = PeriodicityDetector(max_period=4, confirmations=2)
+        for x in range(50):  # strictly increasing, never periodic
+            assert not dpd.observe(x)
+        assert dpd.period is None
+
+    def test_behavior_change_resets_period(self):
+        dpd = PeriodicityDetector(confirmations=1)
+        for x in [1, 2, 1, 2, 1, 2]:
+            dpd.observe(x)
+        assert dpd.period == 2
+        dpd.observe(99)  # working set changed
+        assert dpd.period is None
+
+    def test_redetects_after_reset(self):
+        dpd = PeriodicityDetector(confirmations=1)
+        for x in [1, 2, 1, 2, 1, 2, 99]:
+            dpd.observe(x)
+        for x in [7, 8, 7, 8, 7, 8, 7, 8]:
+            dpd.observe(x)
+        assert dpd.period == 2
+
+    def test_manual_reset(self):
+        dpd = PeriodicityDetector(confirmations=1)
+        for x in [1, 1, 1]:
+            dpd.observe(x)
+        dpd.reset()
+        assert dpd.period is None
+        assert not dpd.established
+
+    def test_period_longer_than_max_not_detected(self):
+        dpd = PeriodicityDetector(max_period=2, confirmations=1)
+        for x in [1, 2, 3] * 5:
+            dpd.observe(x)
+        assert dpd.period is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicityDetector(max_period=0)
+        with pytest.raises(ValueError):
+            PeriodicityDetector(confirmations=0)
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        pattern=st.lists(st.integers(0, 5), min_size=1, max_size=6),
+        repeats=st.integers(4, 8),
+    )
+    def test_repeated_pattern_is_detected_with_divisor_period(self, pattern, repeats):
+        dpd = PeriodicityDetector(max_period=8, confirmations=2)
+        for _ in range(repeats):
+            for x in pattern:
+                dpd.observe(x)
+        assert dpd.period is not None
+        # The detected (shortest) period divides the pattern length or
+        # is itself a period of the repeated stream.
+        stream = pattern * repeats
+        p = dpd.period
+        window = stream[-p * 3:]
+        assert all(
+            window[i] == window[i + p] for i in range(len(window) - p)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=60))
+    def test_observe_never_crashes_and_bounds_memory(self, stream):
+        dpd = PeriodicityDetector(max_period=4, confirmations=2)
+        for x in stream:
+            result = dpd.observe(x)
+            assert isinstance(result, bool)
+        assert len(dpd._history) <= 4 * 3

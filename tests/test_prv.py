@@ -1,0 +1,102 @@
+"""Tests for the Paraver .prv exporter/parser."""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, run_workload
+from repro.metrics.prv import (
+    EVENT_ALLOCATION,
+    export_prv,
+    parse_prv,
+    states_to_bursts,
+)
+from repro.metrics.trace import Burst, ReallocationRecord, TraceRecorder
+
+
+def small_trace():
+    trace = TraceRecorder(4)
+    trace.record_burst(Burst(0, 10, "swim", 0.0, 2.5))
+    trace.record_burst(Burst(1, 11, "bt.A", 1.0, 3.0))
+    trace.record_reallocation(ReallocationRecord(1.5, 10, "swim", 2, 4))
+    return trace
+
+
+class TestExport:
+    def test_header_describes_machine(self):
+        text = export_prv(small_trace(), title="test")
+        header = text.splitlines()[0]
+        assert header.startswith("#Paraver (test):")
+        assert "1(4)" in header
+
+    def test_state_records_in_microseconds(self):
+        text = export_prv(small_trace())
+        state_lines = [l for l in text.splitlines() if l.startswith("1:")]
+        assert len(state_lines) == 2
+        first = state_lines[0].split(":")
+        assert first[5] == "0" and first[6] == "2500000"
+
+    def test_event_records_carry_allocation(self):
+        text = export_prv(small_trace())
+        event_lines = [l for l in text.splitlines() if l.startswith("2:")]
+        assert len(event_lines) == 1
+        parts = event_lines[0].split(":")
+        assert int(parts[6]) == EVENT_ALLOCATION
+        assert int(parts[7]) == 4
+
+    def test_records_sorted_by_time(self):
+        text = export_prv(small_trace())
+        times = []
+        for line in text.splitlines()[1:]:
+            parts = line.split(":")
+            times.append(int(parts[5]))
+        assert times == sorted(times)
+
+    def test_empty_trace_exports_header_only(self):
+        text = export_prv(TraceRecorder(2))
+        assert len([l for l in text.splitlines() if l.strip()]) == 1
+
+
+class TestParse:
+    def test_roundtrip(self):
+        trace = small_trace()
+        prv = parse_prv(export_prv(trace))
+        assert prv.n_cpus == 4
+        assert prv.n_appl == 2
+        assert len(prv.states) == 2
+        assert len(prv.events) == 1
+        assert prv.ftime == pytest.approx(3.0)
+        assert prv.states[0].begin == pytest.approx(0.0)
+        assert prv.states[0].end == pytest.approx(2.5)
+
+    def test_states_to_bursts(self):
+        prv = parse_prv(export_prv(small_trace()))
+        bursts = states_to_bursts(prv, {1: "swim", 2: "bt.A"})
+        assert {b.app_name for b in bursts} == {"swim", "bt.A"}
+        assert all(b.duration > 0 for b in bursts)
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            parse_prv("1:1:1:1:1:0:10:1\n")
+
+    def test_malformed_record_reports_line(self):
+        text = export_prv(small_trace()) + "1:bogus\n"
+        with pytest.raises(ValueError, match="line"):
+            parse_prv(text)
+
+    def test_unknown_record_kind_rejected(self):
+        text = export_prv(small_trace()) + "9:1:1:1:1:0:1:1\n"
+        with pytest.raises(ValueError):
+            parse_prv(text)
+
+
+class TestEndToEnd:
+    def test_full_workload_trace_roundtrips(self):
+        out = run_workload("PDPA", "w3", 0.6, ExperimentConfig(seed=1))
+        text = export_prv(out.trace)
+        prv = parse_prv(text)
+        assert prv.n_cpus == 60
+        assert len(prv.states) == len(out.trace.bursts)
+        assert len(prv.events) == len(out.trace.reallocations)
+        # Busy time is preserved through the export.
+        exported_busy = sum(s.end - s.begin for s in prv.states)
+        original_busy = sum(b.duration for b in out.trace.bursts)
+        assert exported_busy == pytest.approx(original_busy, rel=1e-4)

@@ -1,0 +1,48 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    # Single seed, no ablations: the fast configuration.
+    return generate_report(
+        config=ExperimentConfig(seed=0),
+        seeds=(0,),
+        include_ablations=False,
+    )
+
+
+class TestReportContents:
+    def test_covers_every_table_and_figure(self, report_text):
+        for artefact in ("Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6", "Fig. 7",
+                         "Fig. 8", "Fig. 9", "Fig. 10",
+                         "Table 1", "Table 2", "Table 3", "Table 4"):
+            assert artefact in report_text, f"report lacks {artefact}"
+
+    def test_mentions_every_policy(self, report_text):
+        for policy in ("IRIX", "Equip", "Equal_eff", "PDPA"):
+            assert policy in report_text
+
+    def test_is_markdown_with_code_blocks(self, report_text):
+        assert report_text.startswith("# PDPA reproduction report")
+        assert report_text.count("```") % 2 == 0
+        assert report_text.count("## ") >= 10
+
+    def test_records_configuration(self, report_text):
+        assert "60 CPUs" in report_text
+        assert "target_eff 0.7" in report_text
+
+
+class TestCliReport:
+    def test_report_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main(["report", "--quick", "--output", str(out_file)]) == 0
+        assert out_file.exists()
+        text = out_file.read_text()
+        assert "Fig. 9" in text
+        assert "written to" in capsys.readouterr().out

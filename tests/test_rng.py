@@ -1,0 +1,88 @@
+"""Unit tests for the named random streams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import RandomStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "arrivals") == derive_seed(42, "arrivals")
+
+    def test_name_changes_seed(self):
+        assert derive_seed(42, "arrivals") != derive_seed(42, "noise")
+
+    def test_master_changes_seed(self):
+        assert derive_seed(1, "arrivals") != derive_seed(2, "arrivals")
+
+    @given(st.integers(), st.text(max_size=50))
+    def test_seed_fits_64_bits(self, master, name):
+        seed = derive_seed(master, name)
+        assert 0 <= seed < 2 ** 64
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_stream(self, streams):
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_different_names_are_independent(self):
+        s1 = RandomStreams(7)
+        s2 = RandomStreams(7)
+        # Drawing from "a" must not affect "b".
+        s1.stream("a").random()
+        assert s1.stream("b").random() == s2.stream("b").random()
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(99).stream("x").random()
+        b = RandomStreams(99).stream("x").random()
+        assert a == b
+
+    def test_creation_order_does_not_matter(self):
+        s1 = RandomStreams(5)
+        s2 = RandomStreams(5)
+        s1.stream("p")
+        s1.stream("q")
+        s2.stream("q")
+        s2.stream("p")
+        assert s1.stream("q").random() == s2.stream("q").random()
+
+    def test_spawn_is_independent_of_parent(self):
+        parent = RandomStreams(3)
+        child = parent.spawn("job1")
+        assert child.master_seed != parent.master_seed
+        assert child.stream("x").random() != parent.stream("x").random()
+
+    def test_spawn_deterministic(self):
+        a = RandomStreams(3).spawn("job1").stream("x").random()
+        b = RandomStreams(3).spawn("job1").stream("x").random()
+        assert a == b
+
+    def test_reset_replays_streams(self, streams):
+        first = streams.stream("n").random()
+        streams.reset()
+        assert streams.stream("n").random() == first
+
+
+class TestDistributions:
+    def test_lognormal_sigma_zero_is_exactly_one(self, streams):
+        assert streams.lognormal_factor("noise", 0.0) == 1.0
+
+    def test_lognormal_is_positive(self, streams):
+        values = [streams.lognormal_factor("noise", 0.5) for _ in range(200)]
+        assert all(v > 0 for v in values)
+
+    def test_lognormal_median_near_one(self, streams):
+        values = sorted(streams.lognormal_factor("noise", 0.1) for _ in range(999))
+        median = values[len(values) // 2]
+        assert 0.95 < median < 1.05
+
+    def test_exponential_mean(self, streams):
+        n = 2000
+        values = [streams.exponential("iat", 4.0) for _ in range(n)]
+        mean = sum(values) / n
+        assert 3.5 < mean < 4.5
+
+    def test_exponential_rejects_nonpositive_mean(self, streams):
+        with pytest.raises(ValueError):
+            streams.exponential("iat", 0.0)

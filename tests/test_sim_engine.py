@@ -1,0 +1,170 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Event, EventQueue, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        seen = []
+        sim.schedule_at(2.0, seen.append, "b")
+        sim.schedule_at(1.0, seen.append, "a")
+        sim.schedule_at(3.0, seen.append, "c")
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_same_time_uses_priority_then_insertion_order(self, sim):
+        seen = []
+        sim.schedule_at(1.0, seen.append, "normal1")
+        sim.schedule_at(1.0, seen.append, "early", priority=Simulator.PRIORITY_EARLY)
+        sim.schedule_at(1.0, seen.append, "normal2")
+        sim.schedule_at(1.0, seen.append, "late", priority=Simulator.PRIORITY_LATE)
+        sim.run()
+        assert seen == ["early", "normal1", "normal2", "late"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule_at(5.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [5.5]
+        assert sim.now == 5.5
+
+    def test_schedule_after_is_relative(self, sim):
+        seen = []
+        sim.schedule_at(10.0, lambda: sim.schedule_after(2.5, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [12.5]
+
+    def test_scheduling_in_the_past_raises(self, sim):
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-0.1, lambda: None)
+
+    def test_events_created_during_run_execute(self, sim):
+        seen = []
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                sim.schedule_after(1.0, chain, n + 1)
+        sim.schedule_at(0.0, chain, 0)
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_args_are_passed_through(self, sim):
+        seen = []
+        sim.schedule_at(1.0, lambda a, b: seen.append((a, b)), 1, "x")
+        sim.run()
+        assert seen == [(1, "x")]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        seen = []
+        event = sim.schedule_at(1.0, seen.append, "no")
+        sim.schedule_at(2.0, seen.append, "yes")
+        sim.cancel(event)
+        sim.run()
+        assert seen == ["yes"]
+
+    def test_double_cancel_is_harmless(self, sim):
+        event = sim.schedule_at(1.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_pending_events_counts_live_only(self, sim):
+        e1 = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        assert sim.pending_events == 2
+        sim.cancel(e1)
+        assert sim.pending_events == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        seen = []
+        sim.schedule_at(1.0, seen.append, "a")
+        sim.schedule_at(5.0, seen.append, "b")
+        end = sim.run(until=3.0)
+        assert seen == ["a"]
+        assert end == 3.0
+        sim.run()
+        assert seen == ["a", "b"]
+
+    def test_run_until_advances_clock_when_queue_drains(self, sim):
+        sim.schedule_at(1.0, lambda: None)
+        end = sim.run(until=10.0)
+        assert end == 10.0
+
+    def test_stop_halts_processing(self, sim):
+        seen = []
+        sim.schedule_at(1.0, lambda: (seen.append("a"), sim.stop()))
+        sim.schedule_at(2.0, seen.append, "b")
+        sim.run()
+        assert seen[0] == "a"
+        assert "b" not in seen
+
+    def test_max_events_guards_runaway_schedules(self, sim):
+        def forever():
+            sim.schedule_after(0.1, forever)
+        sim.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=50)
+
+    def test_simulator_is_not_reentrant(self, sim):
+        def nested():
+            sim.run()
+        sim.schedule_at(1.0, nested)
+        with pytest.raises(SimulationError, match="reentrant"):
+            sim.run()
+
+    def test_events_fired_counter(self, sim):
+        for t in range(5):
+            sim.schedule_at(float(t), lambda: None)
+        sim.run()
+        assert sim.events_fired == 5
+
+
+class TestEventQueue:
+    def _event(self, time, priority=0, seq=0):
+        return Event(time, priority, seq, lambda: None, (), "t")
+
+    def test_pop_returns_earliest(self):
+        q = EventQueue()
+        q.push(self._event(2.0, seq=1))
+        q.push(self._event(1.0, seq=2))
+        popped = q.pop()
+        assert popped is not None and popped.time == 1.0
+
+    def test_pop_skips_cancelled(self):
+        q = EventQueue()
+        early = self._event(1.0, seq=1)
+        q.push(early)
+        q.push(self._event(2.0, seq=2))
+        early.cancel()
+        q.note_cancelled()
+        popped = q.pop()
+        assert popped is not None and popped.time == 2.0
+
+    def test_peek_time_ignores_cancelled(self):
+        q = EventQueue()
+        early = self._event(1.0, seq=1)
+        q.push(early)
+        q.push(self._event(3.0, seq=2))
+        early.cancel()
+        q.note_cancelled()
+        assert q.peek_time() == 3.0
+
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert q.pop() is None
+        assert q.peek_time() is None
+        assert not q

@@ -1,0 +1,117 @@
+"""Unit and property tests for the Standard Workload Format codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.qs.job import Job
+from repro.qs.swf import (
+    SWF_FIELDS,
+    SwfJob,
+    jobs_from_swf,
+    jobs_to_swf,
+    parse_swf,
+    write_swf,
+)
+
+
+class TestRecordCodec:
+    def test_line_has_18_fields(self):
+        record = SwfJob(job_number=1, submit_time=10.0)
+        assert len(record.to_line().split()) == 18
+        assert len(SWF_FIELDS) == 18
+
+    def test_roundtrip_defaults(self):
+        record = SwfJob(job_number=3, submit_time=12.5)
+        parsed = SwfJob.from_line(record.to_line())
+        assert parsed == record
+
+    def test_roundtrip_full_record(self):
+        record = SwfJob(
+            job_number=7, submit_time=1.25, wait_time=3.0, run_time=99.9,
+            allocated_procs=16, requested_procs=30, status=1, user_id=2,
+            executable=4,
+        )
+        assert SwfJob.from_line(record.to_line()) == record
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="fields"):
+            SwfJob.from_line("1 2 3")
+
+    def test_non_numeric_field_raises(self):
+        line = " ".join(["x"] * 18)
+        with pytest.raises(ValueError):
+            SwfJob.from_line(line)
+
+    @given(
+        job_number=st.integers(1, 10**6),
+        submit=st.floats(0, 10**6, allow_nan=False, allow_infinity=False),
+        procs=st.integers(-1, 512),
+    )
+    def test_roundtrip_property(self, job_number, submit, procs):
+        record = SwfJob(job_number=job_number, submit_time=round(submit, 2),
+                        requested_procs=procs)
+        assert SwfJob.from_line(record.to_line()) == record
+
+
+class TestFileCodec:
+    def test_write_and_parse_with_header(self):
+        records = [SwfJob(1, 0.0), SwfJob(2, 5.5)]
+        text = write_swf(records, header={"MaxProcs": "60", "Note": "test"})
+        assert text.startswith("; MaxProcs: 60")
+        parsed = parse_swf(text)
+        assert [r.job_number for r in parsed] == [1, 2]
+
+    def test_blank_lines_and_comments_skipped(self):
+        text = "; comment\n\n" + SwfJob(1, 0.0).to_line() + "\n\n"
+        assert len(parse_swf(text)) == 1
+
+    def test_parse_error_reports_line_number(self):
+        text = SwfJob(1, 0.0).to_line() + "\nbogus line\n"
+        with pytest.raises(ValueError, match="line 2"):
+            parse_swf(text)
+
+
+class TestJobConversion:
+    def test_queued_jobs_use_unknown_markers(self, linear_app):
+        jobs = [Job(1, linear_app, submit_time=3.0, request=8)]
+        records = jobs_to_swf(jobs)
+        assert records[0].wait_time == -1
+        assert records[0].run_time == -1
+        assert records[0].requested_procs == 8
+        assert records[0].status == -1
+
+    def test_completed_jobs_carry_measured_times(self, linear_app):
+        job = Job(1, linear_app, submit_time=3.0)
+        job.mark_started(5.0)
+        job.mark_finished(15.0)
+        record = jobs_to_swf([job])[0]
+        assert record.wait_time == pytest.approx(2.0)
+        assert record.run_time == pytest.approx(10.0)
+        assert record.status == 1
+
+    def test_executable_numbers_stable(self, linear_app, flat_app):
+        jobs = [
+            Job(1, linear_app, submit_time=0.0),
+            Job(2, flat_app, submit_time=1.0),
+            Job(3, linear_app, submit_time=2.0),
+        ]
+        records = jobs_to_swf(jobs)
+        assert records[0].executable == records[2].executable
+        assert records[0].executable != records[1].executable
+
+    def test_jobs_from_swf(self, linear_app, flat_app):
+        original = [
+            Job(1, linear_app, submit_time=0.5),
+            Job(2, flat_app, submit_time=1.5, request=4),
+        ]
+        numbers = {"linear": 1, "flat": 2}
+        records = jobs_to_swf(original, numbers)
+        rebuilt = jobs_from_swf(records, {1: linear_app, 2: flat_app})
+        assert [j.app_name for j in rebuilt] == ["linear", "flat"]
+        assert rebuilt[0].submit_time == pytest.approx(0.5)
+        assert rebuilt[1].request == 4
+
+    def test_unknown_executable_raises(self, linear_app):
+        records = [SwfJob(1, 0.0, executable=9)]
+        with pytest.raises(KeyError):
+            jobs_from_swf(records, {1: linear_app})

@@ -1,0 +1,74 @@
+"""Unit tests for the NUMA topology."""
+
+import pytest
+
+from repro.machine.topology import NumaTopology
+
+
+class TestNodes:
+    def test_default_two_cpus_per_node(self):
+        topo = NumaTopology(8)
+        assert topo.n_nodes == 4
+        assert topo.node_of(0) == 0
+        assert topo.node_of(1) == 0
+        assert topo.node_of(2) == 1
+        assert topo.node_of(7) == 3
+
+    def test_ragged_last_node(self):
+        topo = NumaTopology(5, cpus_per_node=2)
+        assert topo.n_nodes == 3
+        assert topo.cpus_of_node(2) == [4]
+
+    def test_cpus_of_node(self):
+        topo = NumaTopology(8, cpus_per_node=4)
+        assert topo.cpus_of_node(0) == [0, 1, 2, 3]
+        assert topo.cpus_of_node(1) == [4, 5, 6, 7]
+
+    def test_node_out_of_range(self):
+        with pytest.raises(ValueError):
+            NumaTopology(8).cpus_of_node(4)
+
+    def test_cpu_out_of_range(self):
+        with pytest.raises(ValueError):
+            NumaTopology(8).node_of(8)
+        with pytest.raises(ValueError):
+            NumaTopology(8).node_of(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NumaTopology(0)
+        with pytest.raises(ValueError):
+            NumaTopology(8, cpus_per_node=0)
+
+
+class TestDistance:
+    def test_same_node_distance_zero(self):
+        topo = NumaTopology(8)
+        assert topo.distance(0, 1) == 0
+
+    def test_hypercube_hop_count(self):
+        topo = NumaTopology(16, cpus_per_node=2)
+        # nodes 0 (cpus 0-1) and 3 (cpus 6-7): 0 ^ 3 = 0b11 -> 2 hops
+        assert topo.distance(0, 6) == 2
+        # nodes 0 and 1: 1 hop
+        assert topo.distance(0, 2) == 1
+
+    def test_distance_symmetric(self):
+        topo = NumaTopology(16)
+        for a, b in [(0, 5), (3, 12), (7, 8)]:
+            assert topo.distance(a, b) == topo.distance(b, a)
+
+    def test_distance_positive_across_nodes(self):
+        topo = NumaTopology(16)
+        assert topo.distance(0, 15) >= 1
+
+
+class TestSpread:
+    def test_empty_set(self):
+        assert NumaTopology(8).spread([]) == 0
+
+    def test_single_node(self):
+        assert NumaTopology(8).spread([0, 1]) == 1
+
+    def test_multiple_nodes(self):
+        assert NumaTopology(8).spread([0, 2, 4]) == 3

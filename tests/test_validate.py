@@ -1,0 +1,116 @@
+"""Tests for the run validator — including failure injection."""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, run_workload
+from repro.metrics.stats import JobRecord
+from repro.metrics.trace import Burst, ReallocationRecord
+from repro.validate import assert_valid, validate_run
+
+CONFIG = ExperimentConfig(seed=3)
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    return run_workload("PDPA", "w3", 0.6, CONFIG)
+
+
+class TestCleanRuns:
+    def test_pdpa_run_is_valid(self, clean_run):
+        assert validate_run(clean_run) == []
+        assert_valid(clean_run)
+
+    @pytest.mark.parametrize("policy", ["Equip", "Equal_eff"])
+    def test_other_policies_are_valid(self, policy):
+        out = run_workload(policy, "w2", 0.8, CONFIG)
+        assert validate_run(out) == []
+
+    def test_untuned_run_is_valid(self):
+        out = run_workload("PDPA", "w3", 0.6, CONFIG,
+                           request_overrides={"apsi": 30})
+        assert validate_run(out) == []
+
+
+class TestFailureInjection:
+    """Corrupt a clean run and check the validator notices."""
+
+    def _fresh(self):
+        return run_workload("PDPA", "w3", 0.6, CONFIG)
+
+    def test_detects_time_disorder(self):
+        out = self._fresh()
+        victim = out.result.records[0]
+        out.result.records[0] = JobRecord(
+            job_id=victim.job_id, app_name=victim.app_name,
+            app_class=victim.app_class, request=victim.request,
+            submit_time=victim.submit_time,
+            start_time=victim.end_time + 5.0,   # starts after it ends
+            end_time=victim.end_time,
+        )
+        problems = validate_run(out)
+        assert any("out of order" in p for p in problems)
+
+    def test_detects_overlapping_bursts(self):
+        out = self._fresh()
+        first = out.trace.bursts[0]
+        out.trace.bursts.append(Burst(
+            cpu=first.cpu, job_id=999, app_name="ghost",
+            start=first.start + first.duration / 4,
+            end=first.end + 1.0,
+        ))
+        problems = validate_run(out)
+        assert any("overlapping" in p for p in problems)
+
+    def test_detects_capacity_violation(self):
+        out = self._fresh()
+        horizon = out.trace.horizon
+        for fake_cpu in range(out.trace.n_cpus + 5):
+            out.trace.bursts.append(Burst(
+                cpu=1000 + fake_cpu, job_id=999, app_name="ghost",
+                start=0.0, end=horizon,
+            ))
+        problems = validate_run(out)
+        assert any("capacity exceeded" in p for p in problems)
+
+    def test_detects_burst_outside_job_window(self):
+        out = self._fresh()
+        record = out.result.records[0]
+        out.trace.bursts.append(Burst(
+            cpu=0, job_id=record.job_id, app_name=record.app_name,
+            start=record.end_time + 10.0, end=record.end_time + 20.0,
+        ))
+        problems = validate_run(out)
+        assert any("outside its execution window" in p for p in problems)
+
+    def test_detects_broken_reallocation_chain(self):
+        out = self._fresh()
+        some_job = out.trace.reallocations[0].job_id
+        out.trace.reallocations.append(ReallocationRecord(
+            time=out.trace.horizon, job_id=some_job, app_name="x",
+            old_procs=999, new_procs=3,
+        ))
+        problems = validate_run(out)
+        assert any("chain broken" in p for p in problems)
+
+    def test_detects_zero_allocation(self):
+        out = self._fresh()
+        last = out.trace.reallocations[-1]
+        out.trace.reallocations.append(ReallocationRecord(
+            time=last.time + 1.0, job_id=last.job_id, app_name=last.app_name,
+            old_procs=last.new_procs, new_procs=0,
+        ))
+        problems = validate_run(out)
+        assert any("allocated 0 CPUs" in p for p in problems)
+
+    def test_assert_valid_raises_with_details(self):
+        out = self._fresh()
+        victim = out.result.records[0]
+        out.result.records[0] = JobRecord(
+            job_id=victim.job_id, app_name=victim.app_name,
+            app_class=victim.app_class, request=victim.request,
+            submit_time=victim.start_time + 1.0,  # submitted after start
+            start_time=victim.start_time,
+            end_time=victim.end_time,
+        )
+        with pytest.raises(AssertionError, match="violation"):
+            assert_valid(out)

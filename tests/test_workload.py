@@ -1,0 +1,169 @@
+"""Unit tests for workload generation (Table 1 mixes, load targeting)."""
+
+import pytest
+
+from repro.qs.workload import (
+    TABLE1_MIXES,
+    WorkloadMix,
+    estimate_demand,
+    generate_workload,
+    workload_composition,
+)
+from repro.sim.rng import RandomStreams
+
+
+class TestMixValidation:
+    def test_table1_mixes_are_valid(self):
+        assert set(TABLE1_MIXES) == {"w1", "w2", "w3", "w4"}
+        for mix in TABLE1_MIXES.values():
+            assert abs(sum(mix.shares.values()) - 1.0) < 1e-9
+
+    def test_table1_compositions(self):
+        assert TABLE1_MIXES["w1"].shares == {"swim": 0.5, "bt.A": 0.5}
+        assert TABLE1_MIXES["w3"].shares == {"bt.A": 0.5, "apsi": 0.5}
+        assert set(TABLE1_MIXES["w4"].shares) == {"swim", "bt.A", "hydro2d", "apsi"}
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WorkloadMix("bad", {"swim": 0.5, "apsi": 0.4})
+
+    def test_shares_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WorkloadMix("bad", {"swim": 1.5, "apsi": -0.5})
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMix("bad", {})
+
+
+class TestGeneration:
+    def test_job_ids_follow_submission_order(self):
+        jobs = generate_workload(TABLE1_MIXES["w4"], 0.8)
+        assert [j.job_id for j in jobs] == list(range(1, len(jobs) + 1))
+        submits = [j.submit_time for j in jobs]
+        assert submits == sorted(submits)
+
+    def test_submissions_inside_window(self):
+        jobs = generate_workload(TABLE1_MIXES["w1"], 1.0, duration=300.0)
+        assert all(0 <= j.submit_time < 300.0 for j in jobs)
+
+    def test_estimated_demand_near_target(self):
+        for load in (0.6, 0.8, 1.0):
+            jobs = generate_workload(TABLE1_MIXES["w3"], load)
+            demand = estimate_demand(jobs)
+            # Integer job counts quantise the demand; bt jobs are large
+            # (~16% of capacity each), so allow a generous band.
+            assert load * 0.7 <= demand <= load * 1.3
+
+    def test_higher_load_means_more_jobs(self):
+        low = generate_workload(TABLE1_MIXES["w4"], 0.6)
+        high = generate_workload(TABLE1_MIXES["w4"], 1.0)
+        assert len(high) > len(low)
+
+    def test_every_mix_member_is_represented(self):
+        jobs = generate_workload(TABLE1_MIXES["w4"], 0.6)
+        composition = workload_composition(jobs)
+        assert set(composition) == set(TABLE1_MIXES["w4"].shares)
+        assert all(count >= 1 for count in composition.values())
+
+    def test_load_shares_respected(self):
+        # w3: apsi and bt.A each contribute ~half the CPU demand.
+        jobs = generate_workload(TABLE1_MIXES["w3"], 1.0)
+        demand = {"bt.A": 0.0, "apsi": 0.0}
+        for job in jobs:
+            demand[job.app_name] += job.spec.cpu_demand()
+        total = sum(demand.values())
+        assert 0.3 <= demand["apsi"] / total <= 0.7
+
+    def test_deterministic_for_seed(self):
+        a = generate_workload(TABLE1_MIXES["w2"], 0.8, streams=RandomStreams(9))
+        b = generate_workload(TABLE1_MIXES["w2"], 0.8, streams=RandomStreams(9))
+        assert [(j.app_name, j.submit_time) for j in a] == [
+            (j.app_name, j.submit_time) for j in b
+        ]
+
+    def test_different_seed_different_arrivals(self):
+        a = generate_workload(TABLE1_MIXES["w2"], 0.8, streams=RandomStreams(1))
+        b = generate_workload(TABLE1_MIXES["w2"], 0.8, streams=RandomStreams(2))
+        assert [j.submit_time for j in a] != [j.submit_time for j in b]
+
+    def test_tuned_requests_by_default(self):
+        jobs = generate_workload(TABLE1_MIXES["w3"], 0.6)
+        for job in jobs:
+            expected = 2 if job.app_name == "apsi" else 30
+            assert job.request == expected
+
+
+class TestRequestOverrides:
+    def test_override_changes_request_only(self):
+        base = generate_workload(TABLE1_MIXES["w3"], 0.6, streams=RandomStreams(3))
+        overridden = generate_workload(
+            TABLE1_MIXES["w3"], 0.6, streams=RandomStreams(3),
+            request_overrides={"apsi": 30},
+        )
+        # Same jobs, same submission times: only the request differs.
+        assert len(base) == len(overridden)
+        for a, b in zip(base, overridden):
+            assert a.app_name == b.app_name
+            assert a.submit_time == b.submit_time
+            if a.app_name == "apsi":
+                assert (a.request, b.request) == (2, 30)
+            else:
+                assert a.request == b.request
+
+
+class TestWorkScaleVariation:
+    def test_zero_sigma_keeps_catalog_sizes(self):
+        jobs = generate_workload(TABLE1_MIXES["w3"], 0.6, streams=RandomStreams(5))
+        iteration_counts = {j.spec.iterations for j in jobs if j.app_name == "apsi"}
+        assert len(iteration_counts) == 1
+
+    def test_positive_sigma_varies_job_sizes(self):
+        jobs = generate_workload(
+            TABLE1_MIXES["w3"], 0.6, streams=RandomStreams(5),
+            work_scale_sigma=0.5,
+        )
+        iteration_counts = {j.spec.iterations for j in jobs if j.app_name == "apsi"}
+        assert len(iteration_counts) > 1
+
+    def test_scaled_jobs_preserve_other_fields(self):
+        jobs = generate_workload(
+            TABLE1_MIXES["w3"], 0.6, streams=RandomStreams(5),
+            work_scale_sigma=0.5,
+        )
+        for job in jobs:
+            assert job.spec.t_iter_seq > 0
+            assert job.spec.name in ("bt.A", "apsi")
+
+    def test_varied_workload_runs_end_to_end(self):
+        from repro.experiments.common import ExperimentConfig, run_jobs
+
+        jobs = generate_workload(
+            TABLE1_MIXES["w3"], 0.4, streams=RandomStreams(5),
+            work_scale_sigma=0.4,
+        )
+        out = run_jobs("PDPA", jobs, ExperimentConfig(seed=5), load=0.4)
+        assert all(r.end_time > 0 for r in out.result.records)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            generate_workload(TABLE1_MIXES["w1"], 0.6, work_scale_sigma=-0.1)
+
+
+class TestValidation:
+    def test_bad_load(self):
+        with pytest.raises(ValueError):
+            generate_workload(TABLE1_MIXES["w1"], 0.0)
+
+    def test_bad_duration(self):
+        with pytest.raises(ValueError):
+            generate_workload(TABLE1_MIXES["w1"], 0.6, duration=0.0)
+
+    def test_unknown_app_in_mix(self):
+        mix = WorkloadMix("custom", {"nonexistent": 1.0})
+        with pytest.raises(KeyError):
+            generate_workload(mix, 0.6)
+
+    def test_estimate_demand_validation(self):
+        with pytest.raises(ValueError):
+            estimate_demand([], n_cpus=0)
