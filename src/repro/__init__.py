@@ -28,11 +28,13 @@ Public surface
 * :mod:`repro.runtime` — NthLib and the SelfAnalyzer.
 * :mod:`repro.metrics` — Paraver-style analyses and result tables.
 * :mod:`repro.experiments` — one harness per table/figure.
+* :mod:`repro.faults` — fault injection and graceful degradation.
 """
 
 from repro.apps import APP_CATALOG, APSI, BT, HYDRO2D, SWIM, get_app
 from repro.core import PDPA, AppState, PDPAParams
 from repro.experiments import ExperimentConfig, RunOutput, run_jobs, run_workload
+from repro.faults import FaultInjector, FaultPlan, build_scenario
 from repro.metrics import WorkloadResult
 from repro.qs import TABLE1_MIXES, Job, generate_workload
 from repro.rm import Equipartition, EqualEfficiency, IrixResourceManager
@@ -60,5 +62,8 @@ __all__ = [
     "run_jobs",
     "run_workload",
     "WorkloadResult",
+    "FaultInjector",
+    "FaultPlan",
+    "build_scenario",
     "__version__",
 ]

@@ -20,6 +20,7 @@ from typing import List, Optional
 
 from repro.experiments import fig3, fig5_table2, fig7_fig8, tables, workloads
 from repro.experiments.common import POLICY_NAMES, ExperimentConfig, run_workload
+from repro.faults.scenarios import SCENARIOS, build_scenario
 from repro.metrics.stats import format_table
 from repro.qs.swf import jobs_to_swf, write_swf
 from repro.qs.workload import TABLE1_MIXES, generate_workload
@@ -49,6 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--mpl", type=int, default=4, help="(base) multiprogramming level")
     p_run.add_argument("--prv", metavar="FILE",
                        help="export the execution trace in Paraver format")
+    p_run.add_argument("--faults", choices=sorted(SCENARIOS), metavar="SCENARIO",
+                       help="inject a canned fault scenario "
+                            f"({', '.join(sorted(SCENARIOS))})")
 
     p_cmp = sub.add_parser("compare", help="figure-style policy comparison")
     p_cmp.add_argument("workload", choices=sorted(TABLE1_MIXES))
@@ -96,6 +100,8 @@ def _config(args: argparse.Namespace, mpl: Optional[int] = None) -> ExperimentCo
 def cmd_run(args: argparse.Namespace) -> str:
     """Execute one workload run and format its summaries."""
     config = _config(args, mpl=args.mpl)
+    if getattr(args, "faults", None):
+        config = config.with_faults(build_scenario(args.faults, config.n_cpus))
     out = run_workload(args.policy, args.workload, args.load, config)
     result = out.result
     rows = []
@@ -119,6 +125,13 @@ def cmd_run(args: argparse.Namespace) -> str:
         f"max-mpl {result.max_mpl}  reallocations {result.reallocations}  "
         f"migrations {result.migrations}  utilization {result.cpu_utilization:.0%}"
     )
+    if getattr(args, "faults", None):
+        from repro.metrics.faults import fault_statistics
+
+        stats = fault_statistics(out.trace)
+        footer += (
+            f"\nfaults [{args.faults}]: {stats.summary_line()}"
+        )
     if getattr(args, "prv", None):
         from repro.metrics.prv import export_prv
 

@@ -33,6 +33,9 @@ class PDPA(SchedulingPolicy):
     name = "PDPA"
     #: admission is decided dynamically by the MPL policy
     fixed_mpl: Optional[int] = None
+    #: the 4-state automaton is driven by SelfAnalyzer reports, so
+    #: graceful degradation (repro.faults) must cover missing reports
+    uses_reports = True
 
     def __init__(self, params: Optional[PDPAParams] = None) -> None:
         self.params = params or PDPAParams()
@@ -141,6 +144,23 @@ class PDPA(SchedulingPolicy):
 
     def on_job_removed(self, job: Job) -> None:
         self.job_states.pop(job.job_id, None)
+
+    def note_forced_allocation(self, job_id: int, procs: int) -> None:
+        """Resynchronise the automaton after a fault-forced resize.
+
+        The partition changed behind the policy's back (CPU failure
+        shrink or equal-share fallback), so the per-job state must
+        reflect the allocation actually in force.  The job is parked
+        in STABLE: its next report re-enters the automaton from a
+        consistent state (§4.2.4 re-examines STABLE jobs anyway).
+        """
+        state = self.job_states.get(job_id)
+        if state is None:
+            return
+        if state.allocation != procs:
+            state.prev_allocation = state.allocation
+            state.allocation = procs
+        state.state = AppState.STABLE
 
     def on_report(
         self, job: Job, report: PerformanceReport, system: SystemView

@@ -16,12 +16,14 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.params import PDPAParams
 from repro.core.pdpa import PDPA
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.machine.machine import Machine
 from repro.machine.memory import LocalityConfig, LocalityModel
 from repro.metrics.paraver import burst_statistics, max_mpl
 from repro.metrics.stats import JobRecord, WorkloadResult
 from repro.metrics.trace import TraceRecorder
-from repro.qs.job import Job
+from repro.qs.job import Job, JobState
 from repro.qs.queuing import NanosQS
 from repro.qs.workload import TABLE1_MIXES, WorkloadMix, generate_workload
 from repro.rm.base import SchedulingPolicy
@@ -64,6 +66,10 @@ class ExperimentConfig:
     locality:
         Memory-locality (page migration) model for space-shared runs;
         ``None`` disables it.
+    faults:
+        Optional fault-injection plan (see :mod:`repro.faults`).
+        ``None`` — or an empty plan — leaves the run byte-identical
+        to one without the fault subsystem.
     max_events:
         Event-count safety valve for the simulator.
     """
@@ -77,6 +83,7 @@ class ExperimentConfig:
     analyzer: SelfAnalyzerConfig = field(default_factory=SelfAnalyzerConfig)
     irix: IrixConfig = field(default_factory=IrixConfig)
     locality: Optional[LocalityConfig] = field(default_factory=LocalityConfig)
+    faults: Optional[FaultPlan] = None
     max_events: int = 2_000_000
 
     def runtime_config(self) -> RuntimeConfig:
@@ -96,6 +103,10 @@ class ExperimentConfig:
     def with_mpl(self, mpl: int) -> "ExperimentConfig":
         """Copy with a different (fixed/base) multiprogramming level."""
         return replace(self, mpl=mpl, pdpa=replace(self.pdpa, base_mpl=mpl))
+
+    def with_faults(self, faults: Optional[FaultPlan]) -> "ExperimentConfig":
+        """Copy with a fault-injection plan (``None`` disables)."""
+        return replace(self, faults=faults)
 
 
 @dataclass
@@ -185,7 +196,13 @@ def _execute(
     load: float,
 ) -> RunOutput:
     """Drive one workload to completion and collect every metric."""
-    qs = NanosQS(sim, rm, list(jobs), trace)
+    inject = config.faults is not None and not config.faults.empty
+    retry = config.faults.retry_config() if inject else None
+    qs = NanosQS(sim, rm, list(jobs), trace, retry=retry)
+    if inject:
+        assert config.faults is not None
+        streams = RandomStreams(config.seed)
+        FaultInjector(sim, config.faults, rm, qs, streams, trace).install()
     qs.schedule_submissions()
     sim.run(max_events=config.max_events)
     if not qs.all_done:
@@ -195,7 +212,10 @@ def _execute(
         )
     rm.finalize()
 
-    records = [JobRecord.from_job(job) for job in jobs]
+    # FAILED jobs have no completion record but still count in the
+    # result so availability analyses see them.
+    done_jobs = [job for job in jobs if job.state is JobState.DONE]
+    records = [JobRecord.from_job(job) for job in done_jobs]
     stats = burst_statistics(trace)
     makespan = max((r.end_time for r in records), default=0.0)
     result = WorkloadResult(
@@ -209,6 +229,7 @@ def _execute(
         reallocations=rm.reallocation_count,
         max_mpl=max_mpl(trace),
         cpu_utilization=trace.cpu_utilization(makespan),
+        failed=len(qs.failed),
     )
     return RunOutput(result=result, trace=trace, rm=rm, jobs=list(jobs))
 

@@ -1,0 +1,93 @@
+"""Canned fault scenarios for the CLI and the experiment harness.
+
+Each scenario is a function from the machine size to a
+:class:`~repro.faults.plan.FaultPlan`, so ``--faults cpukill8`` works
+on any ``--cpus`` value.  Times assume the default 300-second
+submission window; all scenarios strike mid-workload, when the
+machine is busiest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.faults.plan import (
+    CpuFault,
+    FaultPlan,
+    JobCrash,
+    JobHang,
+    NodeSlowdown,
+    ReportLoss,
+)
+
+
+def cpukill8(n_cpus: int) -> FaultPlan:
+    """Kill 8 CPUs spread across the machine mid-workload.
+
+    Four failures are permanent, four are repaired after ~90 seconds;
+    a crash and a hang ride along so the retry path is exercised too.
+    On machines with fewer than 8 CPUs the spread collapses onto the
+    CPUs that exist (duplicates are deduplicated by id).
+    """
+    targets = sorted({i * n_cpus // 8 for i in range(8)})
+    events = []
+    for rank, cpu in enumerate(targets):
+        if rank % 2 == 0:
+            events.append(CpuFault(time=80.0 + 5.0 * rank, cpu=cpu))
+        else:
+            events.append(
+                CpuFault(time=80.0 + 5.0 * rank, cpu=cpu, repair_after=90.0)
+            )
+    events.append(JobCrash(time=120.0))
+    events.append(JobHang(time=140.0))
+    return FaultPlan(events=tuple(events))
+
+
+def flaky_reports(n_cpus: int) -> FaultPlan:
+    """SelfAnalyzer reports drop or arrive corrupted for the whole run.
+
+    Stresses the graceful-degradation path of the report-driven
+    policies (PDPA, Equal_eff): with 35% of reports lost and 15%
+    corrupted, the equal-share fallback must keep allocations sane.
+    """
+    return FaultPlan(
+        report_loss=ReportLoss(drop_prob=0.35, corrupt_prob=0.15),
+        stale_after=30.0,
+    )
+
+
+def brownout(n_cpus: int) -> FaultPlan:
+    """NUMA nodes throttle and a few CPUs blink out transiently.
+
+    Models a thermal/power brownout: half the nodes run at 60% speed
+    for two minutes while three CPUs take short outages.
+    """
+    n_nodes = max(1, n_cpus // 2)  # default topology: 2 CPUs per node
+    slow_nodes = range(0, n_nodes, 2)
+    events = [
+        NodeSlowdown(time=70.0 + 2.0 * i, node=node, factor=0.6,
+                     restore_after=120.0)
+        for i, node in enumerate(slow_nodes)
+    ]
+    for i, cpu in enumerate(sorted({n_cpus // 4, n_cpus // 2, 3 * n_cpus // 4})):
+        events.append(CpuFault(time=100.0 + 15.0 * i, cpu=cpu, repair_after=45.0))
+    return FaultPlan(events=tuple(events))
+
+
+#: Scenario registry used by ``--faults`` and the smoke tests.
+SCENARIOS: Dict[str, Callable[[int], FaultPlan]] = {
+    "cpukill8": cpukill8,
+    "flaky-reports": flaky_reports,
+    "brownout": brownout,
+}
+
+
+def build_scenario(name: str, n_cpus: int) -> FaultPlan:
+    """Instantiate a canned scenario for a machine size."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+    return builder(n_cpus)

@@ -10,7 +10,7 @@ are used for the workloads).  The machine tracks:
 """
 
 from repro.machine.topology import NumaTopology
-from repro.machine.cpu import CpuState
+from repro.machine.cpu import CpuHealth, CpuState
 from repro.machine.machine import Machine, MachineError
 
-__all__ = ["NumaTopology", "CpuState", "Machine", "MachineError"]
+__all__ = ["NumaTopology", "CpuHealth", "CpuState", "Machine", "MachineError"]

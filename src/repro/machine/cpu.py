@@ -9,9 +9,28 @@ computed.
 
 from __future__ import annotations
 
+import enum
 from typing import Optional
 
 from repro.metrics.trace import Burst, TraceRecorder
+
+
+class CpuHealth(enum.Enum):
+    """Health of one CPU, as seen by the allocator.
+
+    * ``ONLINE`` — fully functional (the only state the no-fault path
+      ever sees);
+    * ``DEGRADED`` — functional but slow, e.g. its NUMA node's router
+      or memory is throttled; still allocatable;
+    * ``OFFLINE`` — failed; never allocatable until repaired.
+    """
+
+    ONLINE = "online"
+    DEGRADED = "degraded"
+    OFFLINE = "offline"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
 
 
 class CpuState:
@@ -23,9 +42,12 @@ class CpuState:
         Index of this CPU.
     owner:
         Job id currently running here, or ``None`` when idle.
+    health:
+        Availability of the CPU; see :class:`CpuHealth`.
     """
 
-    __slots__ = ("cpu_id", "owner", "owner_app", "since", "busy_time", "switches")
+    __slots__ = ("cpu_id", "owner", "owner_app", "since", "busy_time",
+                 "switches", "health")
 
     def __init__(self, cpu_id: int) -> None:
         self.cpu_id = cpu_id
@@ -34,11 +56,17 @@ class CpuState:
         self.since: float = 0.0
         self.busy_time: float = 0.0
         self.switches: int = 0
+        self.health: CpuHealth = CpuHealth.ONLINE
 
     @property
     def idle(self) -> bool:
         """Whether no job owns this CPU."""
         return self.owner is None
+
+    @property
+    def allocatable(self) -> bool:
+        """Whether the allocator may place a job here (not OFFLINE)."""
+        return self.health is not CpuHealth.OFFLINE
 
     def assign(
         self,

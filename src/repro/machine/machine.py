@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set
 
-from repro.machine.cpu import CpuState
+from repro.machine.cpu import CpuHealth, CpuState
 from repro.machine.topology import NumaTopology
 from repro.metrics.trace import TraceRecorder
 
@@ -57,19 +57,26 @@ class Machine:
         self.cpus: List[CpuState] = [CpuState(i) for i in range(n_cpus)]
         self._partitions: Dict[int, Set[int]] = {}
         self._app_names: Dict[int, str] = {}
+        #: speed factor per degraded NUMA node (absent = full speed)
+        self._node_speed: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     @property
+    def healthy_cpus(self) -> int:
+        """CPUs the allocator may still use (ONLINE or DEGRADED)."""
+        return sum(1 for cpu in self.cpus if cpu.allocatable)
+
+    @property
     def free_cpus(self) -> int:
-        """Number of CPUs not owned by any partition."""
-        return self.n_cpus - sum(len(p) for p in self._partitions.values())
+        """Number of allocatable CPUs not owned by any partition."""
+        return self.healthy_cpus - sum(len(p) for p in self._partitions.values())
 
     @property
     def allocated_cpus(self) -> int:
         """Number of CPUs currently inside partitions."""
-        return self.n_cpus - self.free_cpus
+        return sum(len(p) for p in self._partitions.values())
 
     def allocation_of(self, job_id: int) -> int:
         """Partition size of *job_id* (0 if the job has no partition)."""
@@ -97,12 +104,17 @@ class Machine:
         the caller must not overcommit).
         """
         if job_id in self._partitions:
-            raise MachineError(f"job {job_id} already has a partition")
+            raise MachineError(
+                f"job {job_id} already has a partition "
+                f"{sorted(self._partitions[job_id])}"
+            )
         if procs < 1:
             raise MachineError(f"job {job_id}: initial allocation must be >= 1")
         if procs > self.free_cpus:
             raise MachineError(
-                f"job {job_id}: requested {procs} CPUs but only {self.free_cpus} free"
+                f"job {job_id}: requested {procs} CPUs but only {self.free_cpus} "
+                f"free ({self.healthy_cpus} healthy of {self.n_cpus}; "
+                f"partitions {self.allocations()})"
             )
         self._partitions[job_id] = set()
         self._app_names[job_id] = app_name
@@ -121,9 +133,15 @@ class Machine:
         trace counts when the new owner is assigned).
         """
         if job_id not in self._partitions:
-            raise MachineError(f"job {job_id} has no partition")
+            raise MachineError(
+                f"job {job_id} has no partition to resize "
+                f"(jobs holding partitions: {self.running_jobs()})"
+            )
         if procs < 1:
-            raise MachineError(f"job {job_id}: allocation must stay >= 1")
+            raise MachineError(
+                f"job {job_id}: allocation must stay >= 1, got {procs} "
+                f"(current partition {self.partition_of(job_id)})"
+            )
         current = len(self._partitions[job_id])
         if procs == current:
             return 0
@@ -131,8 +149,10 @@ class Machine:
             needed = procs - current
             if needed > self.free_cpus:
                 raise MachineError(
-                    f"job {job_id}: growing by {needed} but only "
-                    f"{self.free_cpus} CPUs free"
+                    f"job {job_id}: growing partition "
+                    f"{self.partition_of(job_id)} by {needed} but only "
+                    f"{self.free_cpus} CPUs free "
+                    f"({self.healthy_cpus} healthy of {self.n_cpus})"
                 )
             self._grow(job_id, needed, now)
             return 0
@@ -144,7 +164,10 @@ class Machine:
     def finish_job(self, job_id: int, now: float) -> None:
         """Release the job's partition (job completed)."""
         if job_id not in self._partitions:
-            raise MachineError(f"job {job_id} has no partition")
+            raise MachineError(
+                f"job {job_id} has no partition to release "
+                f"(jobs holding partitions: {self.running_jobs()})"
+            )
         for cpu_id in list(self._partitions[job_id]):
             self.cpus[cpu_id].assign(None, "", now, self.trace)
         del self._partitions[job_id]
@@ -156,15 +179,114 @@ class Machine:
             cpu.flush(now, self.trace)
 
     # ------------------------------------------------------------------
+    # fault operations (used by repro.faults via the resource manager)
+    # ------------------------------------------------------------------
+    def cpu_health(self, cpu_id: int) -> CpuHealth:
+        """Health of one CPU (IndexError on bad id)."""
+        return self.cpus[cpu_id].health
+
+    def offline_cpus(self) -> List[int]:
+        """Ids of CPUs currently OFFLINE."""
+        return [c.cpu_id for c in self.cpus if c.health is CpuHealth.OFFLINE]
+
+    def fail_cpu(self, cpu_id: int, now: float) -> Optional[int]:
+        """Take one CPU OFFLINE; returns the job that owned it (if any).
+
+        The CPU is evicted from its partition immediately (its burst is
+        closed), so the machine's books never show a job on a failed
+        CPU.  The caller — normally the resource manager — decides how
+        to repair the shrunken partition.
+
+        Raises
+        ------
+        MachineError
+            If this is the last allocatable CPU: a machine with zero
+            healthy CPUs cannot make progress, and refusing loudly is
+            better than deadlocking the workload.
+        """
+        if not 0 <= cpu_id < self.n_cpus:
+            raise MachineError(f"no such CPU {cpu_id} (machine has {self.n_cpus})")
+        cpu = self.cpus[cpu_id]
+        if cpu.health is CpuHealth.OFFLINE:
+            return None
+        if self.healthy_cpus <= 1:
+            raise MachineError(
+                f"cannot take CPU {cpu_id} offline: it is the last "
+                f"allocatable CPU (offline: {self.offline_cpus()})"
+            )
+        owner = cpu.owner
+        if owner is not None:
+            cpu.assign(None, "", now, self.trace)
+            self._partitions[owner].discard(cpu_id)
+            if self.trace is not None:
+                self.trace.record_migrations(1)
+        cpu.health = CpuHealth.OFFLINE
+        return owner
+
+    def repair_cpu(self, cpu_id: int, now: float) -> bool:
+        """Bring a failed/degraded CPU back ONLINE; True if state changed."""
+        if not 0 <= cpu_id < self.n_cpus:
+            raise MachineError(f"no such CPU {cpu_id} (machine has {self.n_cpus})")
+        cpu = self.cpus[cpu_id]
+        if cpu.health is CpuHealth.ONLINE:
+            return False
+        node = self.topology.node_of(cpu_id)
+        cpu.health = (
+            CpuHealth.DEGRADED if node in self._node_speed else CpuHealth.ONLINE
+        )
+        return True
+
+    def degrade_node(self, node: int, factor: float, now: float) -> List[int]:
+        """Mark a NUMA node DEGRADED at *factor* speed; returns its CPUs.
+
+        OFFLINE CPUs on the node stay OFFLINE (a repair will land them
+        in DEGRADED while the node is slow).
+        """
+        if not 0.0 < factor <= 1.0:
+            raise MachineError(f"node speed factor must be in (0, 1], got {factor}")
+        cpus = self.topology.cpus_of_node(node)
+        self._node_speed[node] = factor
+        for cpu_id in cpus:
+            if self.cpus[cpu_id].health is CpuHealth.ONLINE:
+                self.cpus[cpu_id].health = CpuHealth.DEGRADED
+        return cpus
+
+    def restore_node(self, node: int, now: float) -> List[int]:
+        """Restore a degraded NUMA node to full speed; returns its CPUs."""
+        cpus = self.topology.cpus_of_node(node)
+        self._node_speed.pop(node, None)
+        for cpu_id in cpus:
+            if self.cpus[cpu_id].health is CpuHealth.DEGRADED:
+                self.cpus[cpu_id].health = CpuHealth.ONLINE
+        return cpus
+
+    def partition_speed_factor(self, job_id: int) -> float:
+        """Speed factor of a job's partition (1.0 = full speed).
+
+        A parallel iteration advances at the pace of its slowest
+        thread, so the partition runs at the *minimum* factor of its
+        CPUs' nodes.
+        """
+        if not self._node_speed:
+            return 1.0
+        partition = self._partitions.get(job_id)
+        if not partition:
+            return 1.0
+        return min(
+            self._node_speed.get(self.topology.node_of(cpu_id), 1.0)
+            for cpu_id in partition
+        )
+
+    # ------------------------------------------------------------------
     # placement internals
     # ------------------------------------------------------------------
     def _free_cpu_ids(self) -> List[int]:
-        return [cpu.cpu_id for cpu in self.cpus if cpu.idle]
+        return [cpu.cpu_id for cpu in self.cpus if cpu.idle and cpu.allocatable]
 
     def _grow(self, job_id: int, count: int, now: float) -> None:
         partition = self._partitions[job_id]
         app_name = self._app_names[job_id]
-        chosen = self._pick_free_cpus(partition, count)
+        chosen = self._pick_free_cpus(partition, count, job_id)
         migrations = 0
         for cpu_id in chosen:
             previous = self.cpus[cpu_id].assign(job_id, app_name, now, self.trace)
@@ -174,12 +296,19 @@ class Machine:
         if migrations and self.trace is not None:
             self.trace.record_migrations(migrations)
 
-    def _pick_free_cpus(self, partition: Iterable[int], count: int) -> List[int]:
+    def _pick_free_cpus(
+        self, partition: Iterable[int], count: int, job_id: Optional[int] = None
+    ) -> List[int]:
         """Choose free CPUs minimising distance to the partition."""
         partition = list(partition)
         free = self._free_cpu_ids()
         if len(free) < count:
-            raise MachineError(f"need {count} free CPUs, have {len(free)}")
+            whom = f"job {job_id}" if job_id is not None else "partition"
+            raise MachineError(
+                f"{whom}: need {count} free CPUs, have {len(free)} "
+                f"(partition {sorted(partition)}, free {free}, "
+                f"offline {self.offline_cpus()})"
+            )
         if not partition:
             # New partition: take the most compact run of free CPUs by
             # sorting on node and preferring whole nodes.

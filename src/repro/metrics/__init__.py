@@ -17,7 +17,14 @@ from repro.metrics.stats import (
     format_table,
     summarize_by_app,
 )
-from repro.metrics.trace import Burst, MplSample, ReallocationRecord, TraceRecorder
+from repro.metrics.trace import (
+    Burst,
+    FaultRecord,
+    MplSample,
+    ReallocationRecord,
+    TraceRecorder,
+)
+from repro.metrics.faults import FaultStats, fault_statistics
 from repro.metrics.paraver import (
     BurstStatistics,
     burst_statistics,
@@ -36,14 +43,18 @@ from repro.metrics.timeline import (
     AllocationStats,
     allocation_stats,
     allocation_stats_by_app,
+    capacity_timeline,
     utilization_timeline,
 )
 
 __all__ = [
     "Burst",
+    "FaultRecord",
     "MplSample",
     "ReallocationRecord",
     "TraceRecorder",
+    "FaultStats",
+    "fault_statistics",
     "BurstStatistics",
     "burst_statistics",
     "execution_view",
@@ -64,5 +75,6 @@ __all__ = [
     "AllocationStats",
     "allocation_stats",
     "allocation_stats_by_app",
+    "capacity_timeline",
     "utilization_timeline",
 ]

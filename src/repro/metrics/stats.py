@@ -25,6 +25,8 @@ class JobRecord:
     submit_time: float
     start_time: float
     end_time: float
+    #: executions killed by faults before the successful one
+    attempts: int = 0
 
     @property
     def wait_time(self) -> float:
@@ -47,14 +49,22 @@ class JobRecord:
         if job.state is not JobState.DONE:
             raise ValueError(f"job {job.job_id} has not completed")
         assert job.start_time is not None and job.end_time is not None
+        # Wait time spans submission to the *first* start, so a job
+        # that was killed and retried still reports its true queueing
+        # delay (first_start_time == start_time on a clean run).
+        first_start = (
+            job.first_start_time if job.first_start_time is not None
+            else job.start_time
+        )
         return cls(
             job_id=job.job_id,
             app_name=job.app_name,
             app_class=str(job.spec.app_class),
             request=job.request if job.request is not None else 0,
             submit_time=job.submit_time,
-            start_time=job.start_time,
+            start_time=first_start,
             end_time=job.end_time,
+            attempts=job.attempts,
         )
 
 
@@ -110,6 +120,9 @@ class WorkloadResult:
         Highest multiprogramming level observed.
     cpu_utilization:
         Fraction of machine capacity used over the makespan.
+    failed:
+        Jobs that ended FAILED (retry budget exhausted); always 0
+        without fault injection.
     """
 
     policy: str
@@ -122,6 +135,8 @@ class WorkloadResult:
     reallocations: int = 0
     max_mpl: int = 0
     cpu_utilization: float = 0.0
+    #: jobs that exhausted their retry budget under fault injection
+    failed: int = 0
 
     def by_app(self) -> Dict[str, ClassSummary]:
         """Per-application summaries, keyed by application name."""

@@ -139,6 +139,33 @@ def queue_timeline(trace: TraceRecorder) -> List[Tuple[float, int]]:
     return [(s.time, s.queued_jobs) for s in trace.mpl_samples]
 
 
+def capacity_timeline(trace: TraceRecorder) -> List[Tuple[float, int]]:
+    """(time, healthy CPUs) steps, from the fault records.
+
+    Starts at ``(0.0, n_cpus)``; each effective ``cpu_fail`` /
+    ``cpu_repair`` record steps the capacity down / up.  Skipped
+    injections (detail ``"skipped: ..."``) never took effect and are
+    ignored.  A run without CPU faults yields the single full-capacity
+    step.
+    """
+    steps = [(0.0, trace.n_cpus)]
+    capacity = trace.n_cpus
+    offline: set = set()
+    for record in sorted(trace.faults, key=lambda f: f.time):
+        if record.detail.startswith("skipped"):
+            continue
+        if record.kind == "cpu_fail" and record.target not in offline:
+            offline.add(record.target)
+            capacity -= 1
+        elif record.kind == "cpu_repair" and record.target in offline:
+            offline.discard(record.target)
+            capacity += 1
+        else:
+            continue
+        steps.append((record.time, capacity))
+    return steps
+
+
 def render_allocation_table(stats: Dict[str, AllocationStats],
                             title: str = "") -> str:
     """Tabulate per-application allocation statistics."""

@@ -56,6 +56,39 @@ class MplSample:
     queued_jobs: int
 
 
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault or recovery event observed during the run.
+
+    ``kind`` is a small vocabulary shared by the injector, the machine
+    and the resource managers:
+
+    * ``cpu_fail`` / ``cpu_repair`` — a CPU went OFFLINE / came back
+      (``target`` is the CPU id);
+    * ``node_degrade`` / ``node_restore`` — a NUMA node slowed down /
+      recovered (``target`` is the node id, ``value`` the speed factor);
+    * ``job_crash`` / ``job_hang`` — the injected application failure
+      (``target`` is the job id);
+    * ``job_kill`` — the RM tore a job down (``value`` is the lost
+      work in CPU-seconds);
+    * ``job_requeue`` / ``job_failed`` — the queuing system's retry
+      outcome (``value`` is the backoff delay for requeues);
+    * ``report_drop`` / ``report_corrupt`` — SelfAnalyzer report loss;
+    * ``fallback`` — graceful degradation forced an allocation change
+      outside the policy: the equal-share fallback for a job with
+      stale measurements, or a replacement CPU grafted onto a
+      partition after a failure (``value`` is the resulting
+      allocation).
+    """
+
+    time: float
+    kind: str
+    #: CPU id, node id or job id, depending on ``kind``
+    target: int
+    detail: str = ""
+    value: float = 0.0
+
+
 @dataclass
 class SyntheticCpuLoad:
     """Aggregate burst statistics for time-shared execution.
@@ -97,6 +130,7 @@ class TraceRecorder:
         self.bursts: List[Burst] = []
         self.reallocations: List[ReallocationRecord] = []
         self.mpl_samples: List[MplSample] = []
+        self.faults: List[FaultRecord] = []
         self.migrations = 0
         self.synthetic: Dict[int, SyntheticCpuLoad] = {}
         self._horizon = 0.0
@@ -122,6 +156,15 @@ class TraceRecorder:
         """Sample the multiprogramming level (Fig. 8 input)."""
         self.mpl_samples.append(MplSample(time, running, queued))
         self._horizon = max(self._horizon, time)
+
+    def record_fault(self, record: FaultRecord) -> None:
+        """Append a fault/recovery event (drives availability metrics)."""
+        self.faults.append(record)
+        self._horizon = max(self._horizon, record.time)
+
+    def faults_of_kind(self, kind: str) -> List[FaultRecord]:
+        """All fault records of one kind, in recording order."""
+        return [f for f in self.faults if f.kind == kind]
 
     def record_migrations(self, count: int) -> None:
         """Add kernel-thread migrations to the global counter."""

@@ -12,7 +12,7 @@
 """
 
 from repro.qs.job import Job, JobState
-from repro.qs.queuing import NanosQS
+from repro.qs.queuing import NanosQS, RetryConfig
 from repro.qs.backfill import BackfillQS
 from repro.qs.swf import SwfJob, parse_swf, write_swf
 from repro.qs.workload import (
@@ -26,6 +26,7 @@ __all__ = [
     "Job",
     "JobState",
     "NanosQS",
+    "RetryConfig",
     "BackfillQS",
     "SwfJob",
     "parse_swf",

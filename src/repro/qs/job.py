@@ -21,11 +21,17 @@ from repro.apps.application import ApplicationSpec
 
 
 class JobState(enum.Enum):
-    """Lifecycle of a job inside the queuing system."""
+    """Lifecycle of a job inside the queuing system.
+
+    ``FAILED`` is terminal: the job was killed (crash, hang, or the
+    fault of a resource it ran on) more times than the retry budget
+    allows.  A requeued job goes back to ``QUEUED``.
+    """
 
     QUEUED = "queued"
     RUNNING = "running"
     DONE = "done"
+    FAILED = "failed"
 
 
 @dataclass
@@ -40,6 +46,10 @@ class Job:
     state: JobState = JobState.QUEUED
     start_time: Optional[float] = None
     end_time: Optional[float] = None
+    #: number of executions that were killed by a fault (0 = clean run)
+    attempts: int = 0
+    #: time of the *first* start; ``start_time`` tracks the latest one
+    first_start_time: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.request is None:
@@ -62,12 +72,35 @@ class Job:
             raise RuntimeError(f"job {self.job_id}: started before submission")
         self.state = JobState.RUNNING
         self.start_time = now
+        if self.first_start_time is None:
+            self.first_start_time = now
 
     def mark_finished(self, now: float) -> None:
         """Transition RUNNING -> DONE at time *now*."""
         if self.state is not JobState.RUNNING:
             raise RuntimeError(f"job {self.job_id}: finished while {self.state}")
         self.state = JobState.DONE
+        self.end_time = now
+
+    def mark_requeued(self, now: float) -> None:
+        """Transition RUNNING -> QUEUED after a fault killed this run.
+
+        The job keeps its original ``submit_time`` (response time spans
+        every attempt) and its ``first_start_time``; all execution
+        progress is lost.
+        """
+        if self.state is not JobState.RUNNING:
+            raise RuntimeError(f"job {self.job_id}: requeued while {self.state}")
+        self.state = JobState.QUEUED
+        self.attempts += 1
+
+    def mark_failed(self, now: float) -> None:
+        """Terminal transition to FAILED (retry budget exhausted)."""
+        if self.state in (JobState.DONE, JobState.FAILED):
+            raise RuntimeError(f"job {self.job_id}: failed while {self.state}")
+        if self.state is JobState.RUNNING:
+            self.attempts += 1
+        self.state = JobState.FAILED
         self.end_time = now
 
     @property

@@ -14,12 +14,43 @@ fixed list of jobs with fixed submission times.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.metrics.trace import TraceRecorder
+from repro.metrics.trace import FaultRecord, TraceRecorder
 from repro.qs.job import Job, JobState
 from repro.rm.manager import BaseResourceManager
 from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    """Retry policy for jobs killed by faults.
+
+    A killed job re-enters the FCFS queue after a capped exponential
+    backoff — immediately resubmitting a job onto a machine that just
+    lost capacity only thrashes the admission protocol.  After
+    ``max_retries`` killed executions the job is declared FAILED.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 5.0
+    backoff_cap: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                f"need 0 <= backoff_base <= backoff_cap, got "
+                f"{self.backoff_base}/{self.backoff_cap}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number *attempt* (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return min(self.backoff_base * 2.0 ** (attempt - 1), self.backoff_cap)
 
 
 class NanosQS:
@@ -31,16 +62,21 @@ class NanosQS:
         rm: BaseResourceManager,
         jobs: List[Job],
         trace: Optional[TraceRecorder] = None,
+        retry: Optional[RetryConfig] = None,
     ) -> None:
         self.sim = sim
         self.rm = rm
         self.jobs = list(jobs)
         self.trace = trace
+        self.retry = retry or RetryConfig()
         self.queue: List[Job] = []
         self.completed: List[Job] = []
+        self.failed: List[Job] = []
+        self.requeue_count = 0
         self._in_try_start = False
         rm.on_state_change = self.try_start
         rm.on_job_finished = self._job_finished
+        rm.on_job_killed = self._job_killed
 
     # ------------------------------------------------------------------
     # submission
@@ -90,6 +126,40 @@ class NanosQS:
         # redundant, so we rely on the state-change hook.
 
     # ------------------------------------------------------------------
+    # fault recovery: retry with capped exponential backoff
+    # ------------------------------------------------------------------
+    def _job_killed(self, job: Job, reason: str) -> None:
+        """RM hook: *job*'s execution was torn down by a fault."""
+        now = self.sim.now
+        if job.attempts >= self.retry.max_retries:
+            job.mark_failed(now)
+            self.failed.append(job)
+            if self.trace is not None:
+                self.trace.record_fault(FaultRecord(
+                    now, "job_failed", job.job_id,
+                    detail=f"{reason} (after {job.attempts} killed runs)",
+                ))
+            self._sample_mpl()
+            return
+        job.mark_requeued(now)
+        delay = self.retry.delay(job.attempts)
+        self.requeue_count += 1
+        if self.trace is not None:
+            self.trace.record_fault(FaultRecord(
+                now, "job_requeue", job.job_id, detail=reason, value=delay,
+            ))
+        self.sim.schedule_after(
+            delay, self._on_requeue, job, label=f"requeue:{job.job_id}"
+        )
+        self._sample_mpl()
+
+    def _on_requeue(self, job: Job) -> None:
+        """Backoff expired: the job rejoins the FCFS queue."""
+        self.queue.append(job)
+        self._sample_mpl()
+        self.try_start()
+
+    # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
     def _sample_mpl(self) -> None:
@@ -103,9 +173,12 @@ class NanosQS:
 
     @property
     def all_done(self) -> bool:
-        """Whether every submitted job has completed."""
-        return len(self.completed) == len(self.jobs)
+        """Whether every submitted job reached a terminal state."""
+        return len(self.completed) + len(self.failed) == len(self.jobs)
 
     def unfinished_jobs(self) -> List[Job]:
-        """Jobs not yet completed (for end-of-run diagnostics)."""
-        return [job for job in self.jobs if job.state is not JobState.DONE]
+        """Jobs not yet terminal (for end-of-run diagnostics)."""
+        return [
+            job for job in self.jobs
+            if job.state not in (JobState.DONE, JobState.FAILED)
+        ]

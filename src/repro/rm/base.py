@@ -90,6 +90,12 @@ class SchedulingPolicy(ABC):
     #: decides admission dynamically (PDPA).
     fixed_mpl: Optional[int] = 4
 
+    #: Whether the policy's decisions depend on SelfAnalyzer reports.
+    #: Report-driven policies need graceful degradation when reports
+    #: go missing or stale (see :mod:`repro.faults`); oblivious
+    #: policies (Equipartition) do not.
+    uses_reports: bool = False
+
     @abstractmethod
     def on_job_arrival(self, job: Job, system: SystemView) -> AllocationDecision:
         """Allocate the arriving job (and optionally rebalance others).
@@ -126,6 +132,16 @@ class SchedulingPolicy(ABC):
 
     def on_job_removed(self, job: Job) -> None:
         """Forget per-job state (called after completion)."""
+
+    def note_forced_allocation(self, job_id: int, procs: int) -> None:
+        """A fault changed *job_id*'s partition behind the policy's back.
+
+        Called by the resource manager when a CPU failure shrank a
+        partition that could not be repaired, or when graceful
+        degradation forced an equal-share fallback.  Policies that keep
+        per-job allocation memory (PDPA) must resynchronise here; the
+        default is a no-op for stateless policies.
+        """
 
     def validate_decision(
         self, decision: AllocationDecision, system: SystemView, arriving: Optional[Job]

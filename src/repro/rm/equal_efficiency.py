@@ -94,6 +94,8 @@ class EqualEfficiency(SchedulingPolicy):
     """Extrapolated-efficiency allocation, refit on every report."""
 
     name = "Equal_eff"
+    #: the overhead fit is driven by SelfAnalyzer reports
+    uses_reports = True
 
     def __init__(self, mpl: int = 4) -> None:
         if mpl < 1:

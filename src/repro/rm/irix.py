@@ -29,7 +29,7 @@ every ~quarter-second quantum individually would add nothing but heat).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from repro.metrics.trace import TraceRecorder
 from repro.qs.job import Job
@@ -120,6 +120,9 @@ class IrixResourceManager(BaseResourceManager):
         self._threads: Dict[int, int] = {}
         self._segment_start = sim.now
         self._migration_debt = 0.0
+        #: CPUs currently failed (the time-sharing model has no
+        #: per-CPU placement, so a set of ids is all we need)
+        self._offline: Set[int] = set()
 
     # ------------------------------------------------------------------
     # admission: fixed multiprogramming level, no coordination
@@ -129,6 +132,37 @@ class IrixResourceManager(BaseResourceManager):
 
     def _allocation(self, job_id: int) -> int:
         return self._threads[job_id]
+
+    @property
+    def effective_cpus(self) -> int:
+        """CPUs still healthy (time-sharing spreads over all of them)."""
+        return self.n_cpus - len(self._offline)
+
+    # ------------------------------------------------------------------
+    # fault handling: capacity shrinks, every running job slows down
+    # ------------------------------------------------------------------
+    def on_cpu_failed(self, cpu_id: int, permanent: bool = True) -> None:
+        if not 0 <= cpu_id < self.n_cpus or cpu_id in self._offline:
+            return
+        if self.effective_cpus <= 1:
+            self._record_fault(
+                "cpu_fail", cpu_id, detail="skipped: last healthy CPU"
+            )
+            return
+        self._account_segment()
+        self._offline.add(cpu_id)
+        self._record_fault(
+            "cpu_fail", cpu_id, detail="permanent" if permanent else "transient"
+        )
+        self.on_state_change()
+
+    def on_cpu_repaired(self, cpu_id: int) -> None:
+        if cpu_id not in self._offline:
+            return
+        self._account_segment()
+        self._offline.discard(cpu_id)
+        self._record_fault("cpu_repair", cpu_id)
+        self.on_state_change()
 
     # ------------------------------------------------------------------
     # effective processor shares
@@ -144,8 +178,9 @@ class IrixResourceManager(BaseResourceManager):
         if total <= 0 or threads <= 0:
             return 0.0
         cfg = self.config
-        share = threads * min(1.0, self.n_cpus / total)
-        overcommit = max(0.0, total / self.n_cpus - 1.0)
+        capacity = self.effective_cpus
+        share = threads * min(1.0, capacity / total)
+        overcommit = max(0.0, total / capacity - 1.0)
         share *= cfg.placement_efficiency / (1.0 + cfg.overcommit_penalty * overcommit)
         interference = cfg.interference_per_job * max(0, len(self._threads) - 1)
         share /= 1.0 + interference
@@ -184,11 +219,12 @@ class IrixResourceManager(BaseResourceManager):
             return
         total = self.total_threads
         cfg = self.config
+        capacity = self.effective_cpus
         # Thread-to-CPU distribution: round-robin, so `rem` CPUs hold
         # one extra thread.
-        if total >= self.n_cpus:
-            base, rem = divmod(total, self.n_cpus)
-            for cpu in range(self.n_cpus):
+        if total >= capacity:
+            base, rem = divmod(total, capacity)
+            for cpu in range(capacity):
                 sharers = base + (1 if cpu < rem else 0)
                 self.trace.record_timeshare_segment(
                     cpu, now - duration, now, sharers, cfg.quantum

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.machine.cpu import CpuHealth
 from repro.machine.machine import Machine
 from repro.machine.memory import LocalityModel
-from repro.metrics.trace import ReallocationRecord, TraceRecorder
+from repro.metrics.trace import FaultRecord, ReallocationRecord, TraceRecorder
 from repro.qs.job import Job
 from repro.rm.base import AllocationDecision, JobView, SchedulingPolicy, SystemView
 from repro.runtime.nthlib import NthLibRuntime, RuntimeConfig, RuntimeHost
@@ -46,13 +47,25 @@ class BaseResourceManager(RuntimeHost):
         self.runtimes: Dict[int, NthLibRuntime] = {}
         self.jobs: Dict[int, Job] = {}
         self.reports: Dict[int, PerformanceReport] = {}
+        #: time each job last delivered a report (or was launched);
+        #: graceful degradation uses this to detect stale measurements
+        self.last_report_time: Dict[int, float] = {}
         self.reallocation_count = 0
         #: optional memory-locality model (space-shared managers only)
         self.locality: Optional[LocalityModel] = None
+        #: optional fault-injection tap on incoming SelfAnalyzer
+        #: reports; returns the (possibly corrupted) report or ``None``
+        #: to drop it.  Installed by :class:`repro.faults.FaultInjector`.
+        self.report_filter: Optional[
+            Callable[[Job, PerformanceReport], Optional[PerformanceReport]]
+        ] = None
         #: invoked after any event that may change admission decisions
         self.on_state_change: Callable[[], None] = lambda: None
         #: invoked with each job that completes
         self.on_job_finished: Callable[[Job], None] = lambda job: None
+        #: invoked with each job torn down by a fault (the queuing
+        #: system requeues or fails it)
+        self.on_job_killed: Callable[[Job, str], None] = lambda job, reason: None
 
     # ------------------------------------------------------------------
     # queries
@@ -61,6 +74,11 @@ class BaseResourceManager(RuntimeHost):
     def running_count(self) -> int:
         """Number of jobs currently executing."""
         return len(self.jobs)
+
+    @property
+    def effective_cpus(self) -> int:
+        """CPUs currently usable for scheduling (shrinks under faults)."""
+        return self.n_cpus
 
     def can_admit(self, queued_jobs: int, head_request: Optional[int] = None) -> bool:
         """Whether the queuing system may start one more job.
@@ -82,7 +100,7 @@ class BaseResourceManager(RuntimeHost):
             )
             for job_id, job in self.jobs.items()
         }
-        return SystemView(self.n_cpus, views)
+        return SystemView(self.effective_cpus, views)
 
     def _allocation(self, job_id: int) -> int:
         raise NotImplementedError
@@ -100,17 +118,42 @@ class BaseResourceManager(RuntimeHost):
         )
         self.runtimes[job.job_id] = runtime
         self.jobs[job.job_id] = job
+        self.last_report_time[job.job_id] = self.sim.now
         runtime.start()
 
     def job_completed(self, job: Job) -> None:
         """RuntimeHost hook: the job's last phase finished."""
         job.mark_finished(self.sim.now)
         self._release_job(job)
-        del self.jobs[job.job_id]
-        del self.runtimes[job.job_id]
-        self.reports.pop(job.job_id, None)
+        self._forget_job(job.job_id)
         self.on_job_finished(job)
         self.on_state_change()
+
+    def kill_job(self, job: Job, reason: str = "") -> None:
+        """Tear down a running job after a fault (crash, hang, lost CPUs).
+
+        Aborts the runtime, releases the job's processors, records the
+        lost work, and hands the job to the queuing system, which
+        requeues it with backoff or declares it FAILED.
+        """
+        job_id = job.job_id
+        if job_id not in self.jobs:
+            raise KeyError(f"cannot kill job {job_id}: not running "
+                           f"(running: {sorted(self.jobs)})")
+        started = job.start_time if job.start_time is not None else self.sim.now
+        lost_work = (self.sim.now - started) * self._allocation(job_id)
+        self.runtimes[job_id].abort()
+        self._release_job(job)
+        self._forget_job(job_id)
+        self._record_fault("job_kill", job_id, detail=reason, value=lost_work)
+        self.on_job_killed(job, reason)
+        self.on_state_change()
+
+    def _forget_job(self, job_id: int) -> None:
+        del self.jobs[job_id]
+        del self.runtimes[job_id]
+        self.reports.pop(job_id, None)
+        self.last_report_time.pop(job_id, None)
 
     def _release_job(self, job: Job) -> None:
         raise NotImplementedError
@@ -119,10 +162,52 @@ class BaseResourceManager(RuntimeHost):
         """Flush any pending accounting at the end of a run."""
 
     # ------------------------------------------------------------------
+    # fault hooks (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def _record_fault(self, kind: str, target: int, detail: str = "",
+                      value: float = 0.0) -> None:
+        if self.trace is not None:
+            self.trace.record_fault(
+                FaultRecord(self.sim.now, kind, target, detail, value)
+            )
+
+    def on_cpu_failed(self, cpu_id: int, permanent: bool = True) -> None:
+        """A CPU went offline.  Subclasses shrink capacity/partitions."""
+        self._record_fault("cpu_fail", cpu_id,
+                           detail="permanent" if permanent else "transient")
+        self.on_state_change()
+
+    def on_cpu_repaired(self, cpu_id: int) -> None:
+        """A previously failed CPU is usable again."""
+        self._record_fault("cpu_repair", cpu_id)
+        self.on_state_change()
+
+    def on_node_degraded(self, node: int, factor: float) -> None:
+        """A NUMA node slowed down to *factor* of full speed."""
+        self._record_fault("node_degrade", node, value=factor)
+
+    def on_node_restored(self, node: int) -> None:
+        """A degraded NUMA node recovered full speed."""
+        self._record_fault("node_restore", node, value=1.0)
+
+    def _fault_speed_factor(self, job: Job) -> float:
+        """Slowdown from degraded hardware (1.0 when healthy)."""
+        return 1.0
+
+    # ------------------------------------------------------------------
     # RuntimeHost defaults
     # ------------------------------------------------------------------
     def deliver_report(self, job: Job, report: PerformanceReport) -> None:
+        if self.report_filter is not None:
+            filtered = self.report_filter(job, report)
+            if filtered is None:
+                return  # report lost in transit
+            report = filtered
+        self._accept_report(job, report)
+
+    def _accept_report(self, job: Job, report: PerformanceReport) -> None:
         self.reports[job.job_id] = report
+        self.last_report_time[job.job_id] = self.sim.now
 
     def current_allocation(self, job: Job) -> int:
         return self._allocation(job.job_id)
@@ -147,6 +232,9 @@ class BaseResourceManager(RuntimeHost):
             speedup = job.spec.folded_speedup(job.request, speed_procs)
         if self.locality is not None:
             speedup *= self.locality.speed_factor(job.job_id, self.sim.now)
+        fault_factor = self._fault_speed_factor(job)
+        if fault_factor != 1.0:
+            speedup *= fault_factor
         return speedup
 
 
@@ -179,6 +267,11 @@ class SpaceSharedResourceManager(BaseResourceManager):
 
     def _allocation(self, job_id: int) -> int:
         return self.machine.allocation_of(job_id)
+
+    @property
+    def effective_cpus(self) -> int:
+        """Only healthy CPUs take part in allocation decisions."""
+        return self.machine.healthy_cpus
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -219,18 +312,117 @@ class SpaceSharedResourceManager(BaseResourceManager):
             for jid, j in self.jobs.items()
             if jid != job_id
         }
-        return SystemView(self.n_cpus, views)
+        return SystemView(self.effective_cpus, views)
 
     # ------------------------------------------------------------------
     # reports
     # ------------------------------------------------------------------
-    def deliver_report(self, job: Job, report: PerformanceReport) -> None:
-        super().deliver_report(job, report)
+    def _accept_report(self, job: Job, report: PerformanceReport) -> None:
+        super()._accept_report(job, report)
         system = self.system_view()
         decision = self.policy.on_report(job, report, system)
         self.policy.validate_decision(decision, system, arriving=None)
         self._apply(decision)
         self.on_state_change()
+
+    # ------------------------------------------------------------------
+    # fault handling (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def _fault_speed_factor(self, job: Job) -> float:
+        return self.machine.partition_speed_factor(job.job_id)
+
+    def on_cpu_failed(self, cpu_id: int, permanent: bool = True) -> None:
+        """A CPU failed: shrink capacity and repair the owner's partition.
+
+        Recovery, in order of preference: grow the partition back from
+        the free pool (the policy never notices), let it run one CPU
+        short (the policy is told via ``note_forced_allocation``), or —
+        when the job just lost its only CPU and nothing is free — kill
+        the job so the queuing system can retry it.
+        """
+        if self.machine.cpu_health(cpu_id) is CpuHealth.OFFLINE:
+            return  # duplicate fault on an already-offline CPU
+        pre_owner = self.machine.cpus[cpu_id].owner
+        old_cpus = (
+            self.machine.partition_of(pre_owner) if pre_owner is not None else None
+        )
+        owner = self.machine.fail_cpu(cpu_id, self.sim.now)
+        self._record_fault(
+            "cpu_fail", cpu_id, detail="permanent" if permanent else "transient"
+        )
+        if owner is not None:
+            job = self.jobs[owner]
+            current = self.machine.allocation_of(owner)
+            if self.machine.free_cpus > 0:
+                # Replace the lost CPU from the healthy free pool: the
+                # partition returns to its pre-fault size, so neither
+                # the policy nor the realloc trace sees a change.
+                self.machine.resize_job(owner, current + 1, self.sim.now)
+                if self.locality is not None and old_cpus is not None:
+                    self.locality.on_reallocation(
+                        owner, old_cpus, self.machine.partition_of(owner), self.sim.now
+                    )
+                self._record_fault(
+                    "fallback", owner,
+                    detail=f"replaced failed cpu {cpu_id} from free pool",
+                    value=float(current + 1),
+                )
+            elif current >= 1:
+                # No spare CPU: the partition runs one short.
+                if self.locality is not None and old_cpus is not None:
+                    self.locality.on_reallocation(
+                        owner, old_cpus, self.machine.partition_of(owner), self.sim.now
+                    )
+                self._record_realloc(job, current + 1, current)
+                self.policy.note_forced_allocation(owner, current)
+            else:
+                # The job's only CPU died and nothing is free.
+                self.kill_job(job, reason=f"lost last CPU {cpu_id}")
+                return  # kill_job already notified the state change
+        self.on_state_change()
+
+    def on_cpu_repaired(self, cpu_id: int) -> None:
+        if self.machine.repair_cpu(cpu_id, self.sim.now):
+            self._record_fault("cpu_repair", cpu_id)
+            self.on_state_change()
+
+    def on_node_degraded(self, node: int, factor: float) -> None:
+        self.machine.degrade_node(node, factor, self.sim.now)
+        self._record_fault("node_degrade", node, value=factor)
+
+    def on_node_restored(self, node: int) -> None:
+        self.machine.restore_node(node, self.sim.now)
+        self._record_fault("node_restore", node, value=1.0)
+
+    def force_allocation(self, job_id: int, procs: int, reason: str = "") -> int:
+        """Impose an allocation outside the policy (graceful degradation).
+
+        Used by the fault injector's equal-share fallback for jobs
+        whose measurements went stale.  Growth is clamped to the free
+        pool; the policy is resynchronised through
+        ``note_forced_allocation``.  Returns the allocation actually
+        in force afterwards.
+        """
+        if job_id not in self.jobs:
+            raise KeyError(f"force_allocation: job {job_id} is not running")
+        current = self.machine.allocation_of(job_id)
+        if procs > current:
+            procs = min(procs, current + self.machine.free_cpus)
+        procs = max(1, procs)
+        if procs == current:
+            return current
+        job = self.jobs[job_id]
+        old_cpus = self.machine.partition_of(job_id)
+        self.machine.resize_job(job_id, procs, self.sim.now)
+        if self.locality is not None:
+            self.locality.on_reallocation(
+                job_id, old_cpus, self.machine.partition_of(job_id), self.sim.now
+            )
+        self._record_realloc(job, current, procs)
+        self.policy.note_forced_allocation(job_id, procs)
+        self._record_fault("fallback", job_id, detail=reason, value=float(procs))
+        self.on_state_change()
+        return procs
 
     # ------------------------------------------------------------------
     # enforcement

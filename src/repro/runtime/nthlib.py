@@ -26,7 +26,7 @@ from repro.apps.application import IterativeApplication
 from repro.qs.job import Job
 from repro.runtime.selfanalyzer import PerformanceReport, SelfAnalyzer, SelfAnalyzerConfig
 from repro.runtime.selftuning import SelfTuner, SelfTuningConfig
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.rng import RandomStreams
 
 
@@ -79,6 +79,9 @@ class JobPhase(enum.Enum):
     ITERATING = "iterating"
     TEARDOWN = "teardown"
     DONE = "done"
+    #: torn down by the resource manager after a fault (crash, hang,
+    #: lost partition); the host is NOT notified of completion
+    ABORTED = "aborted"
 
 
 @dataclass(frozen=True)
@@ -152,6 +155,11 @@ class NthLibRuntime:
         self._noise_stream = f"iter-noise:{job.job_id}"
         self.phase = JobPhase.CREATED
         self._last_iter_procs: Optional[int] = None
+        #: handle of the next scheduled phase event (for abort/hang)
+        self._pending: Optional[Event] = None
+        #: True once hang() froze this runtime (it stops progressing
+        #: but stays in its phase, exactly like a livelocked binary)
+        self.hung = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -162,7 +170,7 @@ class NthLibRuntime:
             raise RuntimeError(f"job {self.job.job_id}: started twice")
         self.phase = JobPhase.STARTUP
         duration = self.job.spec.t_startup * self._noise()
-        self.sim.schedule_after(
+        self._pending = self.sim.schedule_after(
             duration, self._startup_done, label=f"startup:{self.job.job_id}"
         )
 
@@ -199,7 +207,7 @@ class NthLibRuntime:
             speedup, alloc_changed_by=changed_by, noise_factor=self._noise()
         )
         self._last_iter_procs = procs
-        self.sim.schedule_after(
+        self._pending = self.sim.schedule_after(
             duration,
             self._end_iteration,
             procs,
@@ -223,14 +231,47 @@ class NthLibRuntime:
     def _begin_teardown(self) -> None:
         self.phase = JobPhase.TEARDOWN
         duration = self.job.spec.t_teardown * self._noise()
-        self.sim.schedule_after(
+        self._pending = self.sim.schedule_after(
             duration, self._complete, label=f"teardown:{self.job.job_id}"
         )
 
     def _complete(self) -> None:
         self.phase = JobPhase.DONE
+        self._pending = None
         self.app.finished = True
         self.host.job_completed(self.job)
+
+    # ------------------------------------------------------------------
+    # fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def abort(self) -> None:
+        """Tear the runtime down without completing the job.
+
+        Cancels whatever phase event is in flight; the host is *not*
+        notified (the resource manager calls this while killing the
+        job, so it already knows).  Idempotent.
+        """
+        if self.phase in (JobPhase.DONE, JobPhase.ABORTED):
+            return
+        if self._pending is not None:
+            self.sim.cancel(self._pending)
+            self._pending = None
+        self.phase = JobPhase.ABORTED
+
+    def hang(self) -> None:
+        """Freeze the runtime: it keeps its processors but never
+        progresses again (a livelock/deadlock model).
+
+        Only a watchdog kill (:meth:`abort` via the resource manager)
+        gets the processors back.  Hanging a finished runtime is a
+        no-op.
+        """
+        if self.phase in (JobPhase.DONE, JobPhase.ABORTED):
+            return
+        if self._pending is not None:
+            self.sim.cancel(self._pending)
+            self._pending = None
+        self.hung = True
 
     # ------------------------------------------------------------------
     # helpers

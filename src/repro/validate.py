@@ -18,14 +18,20 @@ Checked invariants
 * **trace/record consistency** — a job's bursts fall inside its
   [start, end] window.
 * **reallocation records** — chain correctly (each change's
-  ``old_procs`` equals the previous change's ``new_procs``).
+  ``old_procs`` equals the previous change's ``new_procs``); a chain
+  restarts from zero after a fault killed the execution.
+* **fault invariants** (only when the trace has fault records) — no
+  burst overlaps an offline window of its CPU; concurrent bursts never
+  exceed the *healthy* capacity of the moment; every requeued job
+  reaches a terminal state (DONE or FAILED).
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from repro.experiments.common import RunOutput
+from repro.qs.job import JobState
 
 #: tolerance for floating-point time comparisons
 _EPS = 1e-6
@@ -39,6 +45,7 @@ def validate_run(out: RunOutput) -> List[str]:
     problems.extend(_check_capacity(out))
     problems.extend(_check_trace_consistency(out))
     problems.extend(_check_reallocation_chains(out))
+    problems.extend(_check_fault_invariants(out))
     return problems
 
 
@@ -127,25 +134,103 @@ def _check_trace_consistency(out: RunOutput) -> List[str]:
 
 def _check_reallocation_chains(out: RunOutput) -> List[str]:
     problems = []
-    by_job = {}
+    by_job: Dict[int, list] = {}
     for record in sorted(out.trace.reallocations, key=lambda r: r.time):
         by_job.setdefault(record.job_id, []).append(record)
+    # A fault kill releases the whole partition without a reallocation
+    # record, so the chain of a retried job restarts from zero.
+    kills: Dict[int, List[float]] = {}
+    for fault in out.trace.faults:
+        if fault.kind == "job_kill":
+            kills.setdefault(fault.target, []).append(fault.time)
     for job_id, chain in by_job.items():
-        if chain[0].old_procs != 0:
-            problems.append(
-                f"job {job_id}: first allocation record starts from "
-                f"{chain[0].old_procs}, expected 0"
-            )
-        for a, b in zip(chain, chain[1:]):
-            if a.new_procs != b.old_procs:
+        kill_times = sorted(kills.get(job_id, []))
+        expected = 0
+        next_kill = 0
+        for record in chain:
+            while (next_kill < len(kill_times)
+                   and kill_times[next_kill] <= record.time + _EPS):
+                expected = 0
+                next_kill += 1
+            if record.old_procs != expected:
                 problems.append(
-                    f"job {job_id}: reallocation chain broken at t={b.time:.3f} "
-                    f"({a.new_procs} -> {b.old_procs})"
+                    f"job {job_id}: reallocation chain broken at "
+                    f"t={record.time:.3f} (expected old={expected}, "
+                    f"recorded old={record.old_procs})"
                 )
+            expected = record.new_procs
         for record in chain:
             if record.new_procs < 1:
                 problems.append(
                     f"job {job_id}: allocated {record.new_procs} CPUs at "
                     f"t={record.time:.3f}"
                 )
+    return problems
+
+
+def _check_fault_invariants(out: RunOutput) -> List[str]:
+    """Fault-mode bookkeeping; no-op for runs without fault records."""
+    faults = out.trace.faults
+    if not faults:
+        return []
+    problems = []
+
+    # 1. No burst may overlap an offline window of its CPU.
+    from repro.metrics.faults import offline_windows
+
+    down = offline_windows(out.trace)
+    for burst in out.trace.bursts:
+        for t0, t1 in down.get(burst.cpu, ()):
+            if burst.start < t1 - _EPS and burst.end > t0 + _EPS:
+                problems.append(
+                    f"cpu {burst.cpu}: burst [{burst.start:.3f},{burst.end:.3f}] "
+                    f"({burst.app_name}) overlaps offline window "
+                    f"[{t0:.3f},{t1:.3f}]"
+                )
+
+    # 2. Concurrent bursts never exceed the healthy capacity of the
+    #    moment.  At equal times: burst ends, then capacity changes,
+    #    then burst starts (eviction happens exactly at fault time).
+    events = []
+    for burst in out.trace.bursts:
+        events.append((burst.end, 0, 0))
+        events.append((burst.start, 2, 0))
+    offline: set = set()
+    for fault in sorted(faults, key=lambda f: f.time):
+        if fault.detail.startswith("skipped"):
+            continue
+        if fault.kind == "cpu_fail" and fault.target not in offline:
+            offline.add(fault.target)
+            events.append((fault.time, 1, -1))
+        elif fault.kind == "cpu_repair" and fault.target in offline:
+            offline.discard(fault.target)
+            events.append((fault.time, 1, +1))
+    events.sort()
+    live = 0
+    capacity = out.trace.n_cpus
+    for time, order, delta in events:
+        if order == 0:
+            live -= 1
+        elif order == 1:
+            capacity += delta
+        else:
+            live += 1
+        if live > capacity:
+            problems.append(
+                f"healthy capacity exceeded at t={time:.3f}: "
+                f"{live} concurrent bursts on {capacity} healthy CPUs"
+            )
+            break
+
+    # 3. Every requeued job must reach a terminal state.
+    states = {job.job_id: job.state for job in out.jobs}
+    for fault in faults:
+        if fault.kind != "job_requeue":
+            continue
+        state = states.get(fault.target)
+        if state not in (JobState.DONE, JobState.FAILED):
+            problems.append(
+                f"job {fault.target}: requeued at t={fault.time:.3f} but "
+                f"ended in state {state}"
+            )
     return problems
