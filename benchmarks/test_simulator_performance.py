@@ -6,6 +6,7 @@ of the event engine, the machine model and a full end-to-end workload
 execution, so performance regressions in the substrate are visible.
 """
 
+from repro.apps.speedup import AmdahlSpeedup, TabulatedSpeedup
 from repro.experiments.common import ExperimentConfig, run_workload
 from repro.machine.machine import Machine
 from repro.sim.engine import Simulator
@@ -64,6 +65,51 @@ def test_perf_rng_streams(benchmark):
         return total
 
     total = benchmark(draw)
+    assert total > 0
+
+
+def test_perf_event_cancel_churn(benchmark):
+    """Schedule/cancel churn: lazy deletion under heavy cancellation.
+
+    Half the scheduled events are cancelled before they fire — the
+    pattern resource managers produce with reallocation timers.
+    """
+
+    def churn():
+        sim = Simulator()
+        fired = 0
+
+        def tick():
+            nonlocal fired
+            fired += 1
+
+        for i in range(10_000):
+            event = sim.schedule_at(float(i), tick)
+            if i % 2:
+                sim.cancel(event)
+        sim.run()
+        return fired
+
+    fired = benchmark(churn)
+    assert fired == 5_000
+
+
+def test_perf_speedup_curve_eval(benchmark):
+    """Repeated speedup lookups — the per-report hot call (memoized)."""
+    curves = [
+        AmdahlSpeedup(0.02),
+        TabulatedSpeedup([(1, 1.0), (8, 6.5), (32, 18.0), (64, 24.0)]),
+    ]
+
+    def evaluate():
+        total = 0.0
+        for _ in range(500):
+            for curve in curves:
+                for procs in (1, 2, 4, 8, 16, 32, 60):
+                    total += curve.speedup(procs)
+        return total
+
+    total = benchmark(evaluate)
     assert total > 0
 
 

@@ -126,7 +126,7 @@ class HybridSpeedup(SpeedupCurve):
             return balanced_distribution(total_cpus, self.process_weights, self.inner)
         return uniform_distribution(total_cpus, self.n_processes)
 
-    def speedup(self, procs: float) -> float:
+    def _compute(self, procs: float) -> float:
         n = self.n_processes
         total_work = sum(self.process_weights)
         if procs <= 0:

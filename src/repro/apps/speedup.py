@@ -25,14 +25,42 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 
+#: Cap on memoized (procs -> speedup) entries per curve instance.  The
+#: space-shared policies only ever evaluate integer allocations, but the
+#: IRIX time-sharing model produces fractional processor counts, so the
+#: cache is bounded defensively (cleared wholesale when full).
+_SPEEDUP_CACHE_LIMIT = 4096
+
+
 class SpeedupCurve:
-    """Abstract base class for speedup models."""
+    """Abstract base class for speedup models.
+
+    Subclasses implement :meth:`_compute`; the public :meth:`speedup`
+    memoizes it per (curve instance, procs).  Curve instances are
+    shared per application by the catalog, so this is effectively a
+    per-(app, procs) cache — the same allocations are re-evaluated on
+    every iteration, report and policy decision, which made repeated
+    curve evaluation one of the simulator's hottest paths.
+    """
 
     #: human-readable name used in reports
     name: str = "speedup"
 
     def speedup(self, procs: float) -> float:
         """Return the speedup with ``procs`` processors (procs >= 0)."""
+        try:
+            cache = self._speedup_cache
+        except AttributeError:
+            cache = self._speedup_cache = {}
+        value = cache.get(procs)
+        if value is None:
+            if len(cache) >= _SPEEDUP_CACHE_LIMIT:
+                cache.clear()
+            value = cache[procs] = self._compute(procs)
+        return value
+
+    def _compute(self, procs: float) -> float:
+        """Uncached speedup evaluation; implemented by subclasses."""
         raise NotImplementedError
 
     def efficiency(self, procs: float) -> float:
@@ -74,7 +102,7 @@ class AmdahlSpeedup(SpeedupCurve):
         self.serial_fraction = serial_fraction
         self.name = name
 
-    def speedup(self, procs: float) -> float:
+    def _compute(self, procs: float) -> float:
         if procs <= 0:
             return 0.0
         if procs < 1.0:
@@ -143,7 +171,7 @@ class TabulatedSpeedup(SpeedupCurve):
         """The (procs, speedup) control points this curve interpolates."""
         return list(zip(self._xs, self._ys))
 
-    def speedup(self, procs: float) -> float:
+    def _compute(self, procs: float) -> float:
         if procs <= 0:
             return 0.0
         xs, ys = self._xs, self._ys
@@ -210,7 +238,7 @@ class DegradingSpeedup(SpeedupCurve):
         self.decay_per_proc = decay_per_proc
         self.name = name
 
-    def speedup(self, procs: float) -> float:
+    def _compute(self, procs: float) -> float:
         if procs <= self.peak_procs:
             return self.base.speedup(procs)
         peak = self.base.speedup(self.peak_procs)

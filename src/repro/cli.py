@@ -39,6 +39,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
     parser.add_argument("--cpus", type=int, default=60, help="machine size (default 60)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep-shaped commands "
+             "(compare/mpl/tables/ablations/report); 1 = serial (default)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="content-addressed result cache for sweep cells "
+             "(re-runs of unchanged cells are served from disk)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir (compute every cell fresh)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("speedups", help="print the Fig. 3 speedup curves")
@@ -97,6 +111,18 @@ def _config(args: argparse.Namespace, mpl: Optional[int] = None) -> ExperimentCo
     return config
 
 
+def _runner(args: argparse.Namespace):
+    """Sweep runner from the global flags; ``None`` means plain serial."""
+    from repro.parallel import ResultCache, SweepRunner
+
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+    if args.jobs == 1 and cache is None:
+        return None
+    return SweepRunner(jobs=args.jobs, cache=cache)
+
+
 def cmd_run(args: argparse.Namespace) -> str:
     """Execute one workload run and format its summaries."""
     config = _config(args, mpl=args.mpl)
@@ -149,6 +175,7 @@ def cmd_compare(args: argparse.Namespace) -> str:
         policies=args.policies,
         seeds=args.seeds,
         config=_config(args),
+        runner=_runner(args),
     )
     return workloads.render(comparison, title=f"[{args.workload}]")
 
@@ -169,14 +196,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = fig5_table2.run(config=_config(args))
         print(fig5_table2.render_table2(result))
     elif args.command == "mpl":
-        timeline = fig7_fig8.run_fig8(args.workload, args.load, _config(args))
+        timeline = fig7_fig8.run_fig8(
+            args.workload, args.load, _config(args), runner=_runner(args)
+        )
         print(fig7_fig8.render_fig8(timeline))
     elif args.command == "tables":
+        runner = _runner(args)
         print(tables.render_table1())
         print()
-        print(tables.render_table3(tables.run_table3(_config(args))))
+        print(tables.render_table3(tables.run_table3(_config(args), runner=runner)))
         print()
-        print(tables.render_table4(tables.run_table4(_config(args))))
+        print(tables.render_table4(tables.run_table4(_config(args), runner=runner)))
     elif args.command == "report":
         from repro.experiments.report import generate_report
 
@@ -185,6 +215,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seeds=(args.seed,) if args.quick else (args.seed, args.seed + 1),
             include_ablations=not args.quick,
             progress=args.output is not None,
+            runner=_runner(args),
         )
         if args.output:
             with open(args.output, "w", encoding="utf-8") as handle:
@@ -202,7 +233,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             rows, f"Coordination ablation — {args.workload}, "
                   f"load {int(args.load * 100)}%"
         ))
-        sweep = ablations.run_noise_sweep(config=_config(args))
+        sweep = ablations.run_noise_sweep(config=_config(args), runner=_runner(args))
         print()
         print(format_table(
             ["noise sigma", "PDPA reallocs", "Equal_eff reallocs"],

@@ -32,9 +32,12 @@ from repro.experiments.common import (
     RunOutput,
     run_jobs_with_policy,
     run_workload,
+    run_workload_cells,
+    workload_cell_spec,
 )
 from repro.metrics.paraver import mean_allocation
-from repro.metrics.stats import format_table
+from repro.metrics.stats import WorkloadResult, format_table
+from repro.parallel import SweepRunner
 from repro.qs.workload import TABLE1_MIXES, generate_workload
 from repro.rm.base import SystemView
 from repro.sim.rng import RandomStreams
@@ -96,8 +99,7 @@ class AblationRow:
     max_mpl: int
 
 
-def _row(label: str, out: RunOutput) -> AblationRow:
-    result = out.result
+def _row(label: str, result: WorkloadResult) -> AblationRow:
     return AblationRow(
         label=label,
         mean_response=result.mean_response_time,
@@ -137,9 +139,9 @@ def run_coordination_ablation(
         load,
     )
     return [
-        _row("PDPA (full)", run_workload("PDPA", workload, load, config)),
-        _row("PDPA (fixed mpl)", fixed),
-        _row("Equip", run_workload("Equip", workload, load, config)),
+        _row("PDPA (full)", run_workload("PDPA", workload, load, config).result),
+        _row("PDPA (fixed mpl)", fixed.result),
+        _row("Equip", run_workload("Equip", workload, load, config).result),
     ]
 
 
@@ -256,9 +258,9 @@ def run_batch_comparison(
 
     return [
         _row("PDPA", run_workload("PDPA", workload, load, config,
-                                  request_overrides=request_overrides)),
-        _row("Batch + EASY backfill", run_batch(BackfillQS)),
-        _row("Batch FCFS", run_batch(NanosQS)),
+                                  request_overrides=request_overrides).result),
+        _row("Batch + EASY backfill", run_batch(BackfillQS).result),
+        _row("Batch FCFS", run_batch(NanosQS).result),
     ]
 
 
@@ -267,18 +269,22 @@ def run_target_sweep(
     workload: str = "w2",
     load: float = 1.0,
     config: Optional[ExperimentConfig] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Tuple[float, AblationRow]]:
     """PDPA headline numbers across target efficiencies."""
     config = config or ExperimentConfig()
-    rows = []
+    cfgs = []
     for target in targets:
         params = replace(
             config.pdpa, target_eff=target, high_eff=max(config.pdpa.high_eff, target)
         )
-        cfg = replace(config, pdpa=params)
-        out = run_workload("PDPA", workload, load, cfg)
-        rows.append((target, _row(f"target={target:.1f}", out)))
-    return rows
+        cfgs.append(replace(config, pdpa=params))
+    cells = [workload_cell_spec("PDPA", workload, load, cfg) for cfg in cfgs]
+    results = run_workload_cells(cells, runner)
+    return [
+        (target, _row(f"target={target:.1f}", result))
+        for target, result in zip(targets, results)
+    ]
 
 
 def run_step_sweep(
@@ -286,6 +292,7 @@ def run_step_sweep(
     workload: str = "w3",
     load: float = 1.0,
     config: Optional[ExperimentConfig] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Tuple[int, AblationRow, float]]:
     """PDPA behaviour across search step sizes.
 
@@ -296,15 +303,20 @@ def run_step_sweep(
     on the untuned w3.
     """
     config = config or ExperimentConfig()
-    rows = []
-    for step in steps:
-        params = replace(config.pdpa, step=step)
-        cfg = replace(config, pdpa=params)
-        out = run_workload("PDPA", workload, load, cfg,
-                           request_overrides={"apsi": 30})
-        apsi_exec = out.result.summary("apsi").mean_execution_time
-        rows.append((step, _row(f"step={step}", out), apsi_exec))
-    return rows
+    cells = [
+        workload_cell_spec(
+            "PDPA", workload, load,
+            replace(config, pdpa=replace(config.pdpa, step=step)),
+            request_overrides={"apsi": 30},
+        )
+        for step in steps
+    ]
+    results = run_workload_cells(cells, runner)
+    return [
+        (step, _row(f"step={step}", result),
+         result.summary("apsi").mean_execution_time)
+        for step, result in zip(steps, results)
+    ]
 
 
 def run_noise_sweep(
@@ -312,6 +324,7 @@ def run_noise_sweep(
     workload: str = "w2",
     load: float = 1.0,
     config: Optional[ExperimentConfig] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Tuple[float, int, int]]:
     """(sigma, PDPA reallocations, Equal_eff reallocations).
 
@@ -319,13 +332,17 @@ def run_noise_sweep(
     count grows with measurement noise much faster than PDPA's.
     """
     config = config or ExperimentConfig()
-    rows = []
-    for sigma in sigmas:
-        cfg = replace(config, noise_sigma=sigma)
-        pdpa = run_workload("PDPA", workload, load, cfg).result.reallocations
-        eq_eff = run_workload("Equal_eff", workload, load, cfg).result.reallocations
-        rows.append((sigma, pdpa, eq_eff))
-    return rows
+    cells = [
+        workload_cell_spec(policy, workload, load,
+                           replace(config, noise_sigma=sigma))
+        for sigma in sigmas
+        for policy in ("PDPA", "Equal_eff")
+    ]
+    results = run_workload_cells(cells, runner)
+    return [
+        (sigma, results[2 * i].reallocations, results[2 * i + 1].reallocations)
+        for i, sigma in enumerate(sigmas)
+    ]
 
 
 def render_rows(rows: Sequence[AblationRow], title: str) -> str:

@@ -23,6 +23,7 @@ from repro.machine.memory import LocalityConfig, LocalityModel
 from repro.metrics.paraver import burst_statistics, max_mpl
 from repro.metrics.stats import JobRecord, WorkloadResult
 from repro.metrics.trace import TraceRecorder
+from repro.parallel import SweepCell, SweepRunner
 from repro.qs.job import Job, JobState
 from repro.qs.queuing import NanosQS
 from repro.qs.workload import TABLE1_MIXES, WorkloadMix, generate_workload
@@ -253,6 +254,50 @@ def run_workload(
         request_overrides=request_overrides,
     )
     return run_jobs(policy_name, jobs, config, load=load)
+
+
+def workload_cell_spec(
+    policy_name: str,
+    workload: str,
+    load: float,
+    config: Optional[ExperimentConfig] = None,
+    request_overrides: Optional[Mapping[str, int]] = None,
+) -> SweepCell:
+    """Describe one :func:`run_workload` call as a sweep cell.
+
+    The cell carries the full :class:`ExperimentConfig`, so it is a
+    pure function of its parameters and can execute in any worker
+    process (or be served from the result cache) without changing its
+    outcome.
+    """
+    config = config or ExperimentConfig()
+    params: Dict[str, object] = {
+        "policy": policy_name,
+        "workload": workload,
+        "load": load,
+        "config": config,
+    }
+    if request_overrides:
+        params["request_overrides"] = dict(request_overrides)
+    key = (
+        f"{policy_name}/{workload}/load={load:g}"
+        f"/seed={config.seed}/mpl={config.mpl}"
+    )
+    return SweepCell(key=key, fn="repro.parallel.cells:workload_cell", params=params)
+
+
+def run_workload_cells(
+    cells: Sequence[SweepCell],
+    runner: Optional[SweepRunner] = None,
+) -> List[WorkloadResult]:
+    """Execute workload cells through a runner, in submission order.
+
+    With ``runner=None`` a serial, uncached runner is used — the
+    records are byte-identical either way, because every path funnels
+    through the same canonical-JSON encoding.
+    """
+    runner = runner or SweepRunner()
+    return [WorkloadResult.from_dict(record) for record in runner.run(cells)]
 
 
 def average_results(results: Sequence[WorkloadResult]) -> Dict[str, Dict[str, float]]:

@@ -15,9 +15,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.common import ExperimentConfig, run_workload
+from repro.experiments.common import (
+    ExperimentConfig,
+    run_workload,
+    run_workload_cells,
+    workload_cell_spec,
+)
 from repro.metrics.paraver import mpl_timeline
 from repro.metrics.stats import WorkloadResult, format_table
+from repro.parallel import SweepCell, SweepRunner
 
 #: Multiprogramming levels swept in Fig. 7.
 DEFAULT_MPLS = (2, 3, 4)
@@ -44,15 +50,30 @@ def run_mpl_sweep(
     mpls: Sequence[int] = DEFAULT_MPLS,
     policies: Sequence[str] = ("Equip", "PDPA"),
     config: Optional[ExperimentConfig] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> MplSweepResult:
-    """Execute the Fig. 7 sweep."""
+    """Execute the Fig. 7 sweep.
+
+    With a :class:`~repro.parallel.SweepRunner` the cells fan out over
+    its worker pool (and cache); results are identical either way.
+    """
     base = config or ExperimentConfig()
     sweep = MplSweepResult(workload=workload, loads=tuple(loads), mpls=tuple(mpls))
-    for policy in policies:
-        for mpl in mpls:
-            for load in loads:
-                out = run_workload(policy, workload, load, base.with_mpl(mpl))
-                sweep.results[(policy, mpl, load)] = out.result
+    combos = [
+        (policy, mpl, load)
+        for policy in policies for mpl in mpls for load in loads
+    ]
+    if runner is not None:
+        cells = [
+            workload_cell_spec(policy, workload, load, base.with_mpl(mpl))
+            for policy, mpl, load in combos
+        ]
+        for combo, result in zip(combos, run_workload_cells(cells, runner)):
+            sweep.results[combo] = result
+    else:
+        for policy, mpl, load in combos:
+            out = run_workload(policy, workload, load, base.with_mpl(mpl))
+            sweep.results[(policy, mpl, load)] = out.result
     return sweep
 
 
@@ -93,8 +114,18 @@ def run_fig8(
     workload: str = "w2",
     load: float = 1.0,
     config: Optional[ExperimentConfig] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Tuple[float, int]]:
     """The (time, MPL) series PDPA decided — the data behind Fig. 8."""
+    if runner is not None:
+        cfg = config or ExperimentConfig()
+        cell = SweepCell(
+            key=f"fig8/{workload}/load={load:g}/seed={cfg.seed}",
+            fn="repro.parallel.cells:mpl_timeline_cell",
+            params={"workload": workload, "load": load, "config": cfg},
+        )
+        record = runner.run([cell])[0]
+        return [(float(t), int(level)) for t, level in record["timeline"]]
     out = run_workload("PDPA", workload, load, config)
     return mpl_timeline(out.trace)
 

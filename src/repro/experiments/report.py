@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 from repro.experiments import ablations, fig3, fig5_table2, fig7_fig8, tables, workloads
 from repro.experiments.common import ExperimentConfig
 from repro.metrics.stats import format_table
+from repro.parallel import SweepRunner
 
 
 def _section(title: str, body: str) -> str:
@@ -27,8 +28,17 @@ def generate_report(
     seeds: Sequence[int] = (0, 1),
     include_ablations: bool = True,
     progress: bool = False,
+    runner: Optional[SweepRunner] = None,
 ) -> str:
-    """Run the full reproduction and return a markdown report."""
+    """Run the full reproduction and return a markdown report.
+
+    With a :class:`~repro.parallel.SweepRunner`, every sweep-shaped
+    section (the four figure comparisons, the Fig. 7/8 runs, Tables 3
+    and 4 and the noise ablation) fans out over its worker pool and
+    result cache; the report text is identical either way.  Sections
+    needing full in-process artefacts (Fig. 5 traces, custom-policy
+    ablations) always run serially.
+    """
     config = config or ExperimentConfig()
     started = time.time()
     parts: List[str] = [
@@ -56,7 +66,7 @@ def generate_report(
                              ("w3", "Fig. 9"), ("w4", "Fig. 10")):
         note(f"{figure} ({workload} comparison)")
         comparison = workloads.run_comparison(
-            workload, loads=loads, seeds=seeds, config=config
+            workload, loads=loads, seeds=seeds, config=config, runner=runner
         )
         charts = "\n\n".join(
             workloads.ascii_chart(comparison, app)
@@ -92,20 +102,20 @@ def generate_report(
                           fig5_table2.render_fig5(traced, width=90)))
 
     note("Fig. 7 MPL sweep")
-    sweep = fig7_fig8.run_mpl_sweep(config=config)
+    sweep = fig7_fig8.run_mpl_sweep(config=config, runner=runner)
     parts.append(_section("Fig. 7 — multiprogramming-level sweep",
                           fig7_fig8.render_fig7(sweep)))
 
     note("Fig. 8 dynamic MPL")
-    timeline = fig7_fig8.run_fig8(config=config)
+    timeline = fig7_fig8.run_fig8(config=config, runner=runner)
     parts.append(_section("Fig. 8 — dynamic multiprogramming level",
                           fig7_fig8.render_fig8(timeline)))
 
     note("Tables 3 and 4 (untuned workloads)")
     parts.append(_section("Table 3 — w3 not tuned",
-                          tables.render_table3(tables.run_table3(config))))
+                          tables.render_table3(tables.run_table3(config, runner=runner))))
     parts.append(_section("Table 4 — w4 not tuned",
-                          tables.render_table4(tables.run_table4(config))))
+                          tables.render_table4(tables.run_table4(config, runner=runner))))
 
     if include_ablations:
         note("ablations")
@@ -127,7 +137,7 @@ def generate_report(
             "Ablation — batch scheduling (w3 untuned)",
             ablations.render_rows(batch_rows, "w3 untuned, load 100%"),
         ))
-        noise = ablations.run_noise_sweep(config=config)
+        noise = ablations.run_noise_sweep(config=config, runner=runner)
         parts.append(_section(
             "Ablation — measurement noise",
             format_table(

@@ -15,8 +15,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.common import ExperimentConfig, RunOutput, run_workload
+from repro.experiments.common import (
+    ExperimentConfig,
+    RunOutput,
+    run_workload,
+    run_workload_cells,
+    workload_cell_spec,
+)
 from repro.metrics.stats import WorkloadResult, format_table
+from repro.parallel import SweepRunner
 from repro.qs.workload import TABLE1_MIXES
 
 
@@ -51,14 +58,20 @@ def render_table1() -> str:
 # ----------------------------------------------------------------------
 @dataclass
 class UntunedResult:
-    """Equip-vs-PDPA comparison for one untuned workload."""
+    """Equip-vs-PDPA comparison for one untuned workload.
+
+    ``equip_out``/``pdpa_out`` carry the full run artefacts (trace,
+    jobs) on the serial path; they are ``None`` when the comparison was
+    produced through a :class:`~repro.parallel.SweepRunner`, which only
+    transports the serialisable :class:`WorkloadResult` records.
+    """
 
     workload: str
     load: float
     equip: WorkloadResult
     pdpa: WorkloadResult
-    equip_out: RunOutput
-    pdpa_out: RunOutput
+    equip_out: Optional[RunOutput] = None
+    pdpa_out: Optional[RunOutput] = None
 
     def speedup_percent(self, app: str, metric: str) -> float:
         """PDPA improvement over Equipartition, in percent.
@@ -86,9 +99,23 @@ def run_untuned(
     overrides: Dict[str, int],
     load: float = 0.6,
     config: Optional[ExperimentConfig] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> UntunedResult:
-    """Run one untuned workload under Equipartition and PDPA."""
+    """Run one untuned workload under Equipartition and PDPA.
+
+    The serial default also returns the raw :class:`RunOutput`
+    artefacts; with a runner both policies go through the sweep
+    executor and only the results travel back.
+    """
     config = config or ExperimentConfig()
+    if runner is not None:
+        cells = [
+            workload_cell_spec(policy, workload, load, config,
+                               request_overrides=overrides)
+            for policy in ("Equip", "PDPA")
+        ]
+        equip, pdpa = run_workload_cells(cells, runner)
+        return UntunedResult(workload=workload, load=load, equip=equip, pdpa=pdpa)
     equip_out = run_workload("Equip", workload, load, config, request_overrides=overrides)
     pdpa_out = run_workload("PDPA", workload, load, config, request_overrides=overrides)
     return UntunedResult(
@@ -101,15 +128,21 @@ def run_untuned(
     )
 
 
-def run_table3(config: Optional[ExperimentConfig] = None) -> UntunedResult:
+def run_table3(
+    config: Optional[ExperimentConfig] = None,
+    runner: Optional[SweepRunner] = None,
+) -> UntunedResult:
     """Table 3: w3 with apsi requesting 30 processors, load 60%."""
-    return run_untuned("w3", {"apsi": 30}, load=0.6, config=config)
+    return run_untuned("w3", {"apsi": 30}, load=0.6, config=config, runner=runner)
 
 
-def run_table4(config: Optional[ExperimentConfig] = None) -> UntunedResult:
+def run_table4(
+    config: Optional[ExperimentConfig] = None,
+    runner: Optional[SweepRunner] = None,
+) -> UntunedResult:
     """Table 4: w4 with every application requesting 30, load 60%."""
     overrides = {"swim": 30, "bt.A": 30, "hydro2d": 30, "apsi": 30}
-    return run_untuned("w4", overrides, load=0.6, config=config)
+    return run_untuned("w4", overrides, load=0.6, config=config, runner=runner)
 
 
 def render_table3(result: UntunedResult) -> str:

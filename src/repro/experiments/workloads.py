@@ -18,8 +18,11 @@ from repro.experiments.common import (
     ExperimentConfig,
     average_results,
     run_workload,
+    run_workload_cells,
+    workload_cell_spec,
 )
 from repro.metrics.stats import WorkloadResult, format_table
+from repro.parallel import SweepRunner
 
 #: Loads evaluated in the paper.
 DEFAULT_LOADS = (0.6, 0.8, 1.0)
@@ -80,26 +83,46 @@ def run_comparison(
     seeds: Sequence[int] = (0, 1),
     config: Optional[ExperimentConfig] = None,
     request_overrides: Optional[Mapping[str, int]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> ComparisonResult:
-    """Run one workload under every (policy, load), averaged over seeds."""
+    """Run one workload under every (policy, load), averaged over seeds.
+
+    This is the largest sweep of the reproduction
+    (``policies × loads × seeds`` independent executions); with a
+    :class:`~repro.parallel.SweepRunner` the cells fan out over its
+    worker pool and cache, with results identical to the serial path.
+    """
     base = config or ExperimentConfig()
     comparison = ComparisonResult(
         workload=workload, loads=tuple(loads), policies=tuple(policies)
     )
-    for policy in policies:
-        for load in loads:
-            results = []
-            for seed in seeds:
-                out = run_workload(
-                    policy,
-                    workload,
-                    load,
-                    base.with_seed(seed),
-                    request_overrides=request_overrides,
-                )
-                results.append(out.result)
+    combos = [(policy, load) for policy in policies for load in loads]
+    if runner is not None:
+        cells = [
+            workload_cell_spec(policy, workload, load, base.with_seed(seed),
+                               request_overrides=request_overrides)
+            for policy, load in combos
+            for seed in seeds
+        ]
+        flat = iter(run_workload_cells(cells, runner))
+        for policy, load in combos:
+            results = [next(flat) for _ in seeds]
             comparison.raw[(policy, load)] = results
             comparison.data[(policy, load)] = average_results(results)
+        return comparison
+    for policy, load in combos:
+        results = []
+        for seed in seeds:
+            out = run_workload(
+                policy,
+                workload,
+                load,
+                base.with_seed(seed),
+                request_overrides=request_overrides,
+            )
+            results.append(out.result)
+        comparison.raw[(policy, load)] = results
+        comparison.data[(policy, load)] = average_results(results)
     return comparison
 
 

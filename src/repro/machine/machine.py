@@ -59,6 +59,17 @@ class Machine:
         self._app_names: Dict[int, str] = {}
         #: speed factor per degraded NUMA node (absent = full speed)
         self._node_speed: Dict[int, float] = {}
+        # Incrementally maintained views of the CPU list, so the hot
+        # queries (free_cpus / healthy_cpus, every allocation decision)
+        # are O(1) instead of O(n_cpus) scans.  Invariants are checked
+        # against the ground truth by check_invariants().
+        self._free: Set[int] = set(range(n_cpus))
+        self._n_offline = 0
+        self._n_allocated = 0
+        #: cpu id -> NUMA node, precomputed for the placement hot path
+        self._node_of: List[int] = [
+            self.topology.node_of(i) for i in range(n_cpus)
+        ]
 
     # ------------------------------------------------------------------
     # queries
@@ -66,17 +77,17 @@ class Machine:
     @property
     def healthy_cpus(self) -> int:
         """CPUs the allocator may still use (ONLINE or DEGRADED)."""
-        return sum(1 for cpu in self.cpus if cpu.allocatable)
+        return self.n_cpus - self._n_offline
 
     @property
     def free_cpus(self) -> int:
         """Number of allocatable CPUs not owned by any partition."""
-        return self.healthy_cpus - sum(len(p) for p in self._partitions.values())
+        return len(self._free)
 
     @property
     def allocated_cpus(self) -> int:
         """Number of CPUs currently inside partitions."""
-        return sum(len(p) for p in self._partitions.values())
+        return self._n_allocated
 
     def allocation_of(self, job_id: int) -> int:
         """Partition size of *job_id* (0 if the job has no partition)."""
@@ -170,6 +181,9 @@ class Machine:
             )
         for cpu_id in list(self._partitions[job_id]):
             self.cpus[cpu_id].assign(None, "", now, self.trace)
+            self._n_allocated -= 1
+            if self.cpus[cpu_id].allocatable:
+                self._free.add(cpu_id)
         del self._partitions[job_id]
         del self._app_names[job_id]
 
@@ -177,6 +191,49 @@ class Machine:
         """Flush all in-progress bursts into the trace (end of run)."""
         for cpu in self.cpus:
             cpu.flush(now, self.trace)
+        self.check_invariants()
+
+    def check_invariants(self) -> None:
+        """Verify the incremental books against the CPU ground truth.
+
+        Recomputes the free set, offline count and allocation count by
+        scanning ``self.cpus`` / ``self._partitions`` and raises
+        :class:`MachineError` on any divergence.  Cheap enough to call
+        once per run (finalize) and from tests after every mutation.
+        """
+        true_offline = sum(1 for c in self.cpus if not c.allocatable)
+        true_free = {
+            c.cpu_id for c in self.cpus if c.idle and c.allocatable
+        }
+        true_allocated = sum(len(p) for p in self._partitions.values())
+        owned = set()
+        for job_id, partition in self._partitions.items():
+            for cpu_id in partition:
+                if self.cpus[cpu_id].owner != job_id:
+                    raise MachineError(
+                        f"invariant violation: CPU {cpu_id} in partition of "
+                        f"job {job_id} but owned by {self.cpus[cpu_id].owner}"
+                    )
+                if cpu_id in owned:
+                    raise MachineError(
+                        f"invariant violation: CPU {cpu_id} in two partitions"
+                    )
+                owned.add(cpu_id)
+        if self._n_offline != true_offline:
+            raise MachineError(
+                f"invariant violation: offline count {self._n_offline} != "
+                f"actual {true_offline}"
+            )
+        if self._n_allocated != true_allocated:
+            raise MachineError(
+                f"invariant violation: allocated count {self._n_allocated} != "
+                f"actual {true_allocated}"
+            )
+        if self._free != true_free:
+            raise MachineError(
+                f"invariant violation: free set {sorted(self._free)} != "
+                f"actual {sorted(true_free)}"
+            )
 
     # ------------------------------------------------------------------
     # fault operations (used by repro.faults via the resource manager)
@@ -218,9 +275,12 @@ class Machine:
         if owner is not None:
             cpu.assign(None, "", now, self.trace)
             self._partitions[owner].discard(cpu_id)
+            self._n_allocated -= 1
             if self.trace is not None:
                 self.trace.record_migrations(1)
         cpu.health = CpuHealth.OFFLINE
+        self._n_offline += 1
+        self._free.discard(cpu_id)
         return owner
 
     def repair_cpu(self, cpu_id: int, now: float) -> bool:
@@ -230,10 +290,15 @@ class Machine:
         cpu = self.cpus[cpu_id]
         if cpu.health is CpuHealth.ONLINE:
             return False
+        was_offline = cpu.health is CpuHealth.OFFLINE
         node = self.topology.node_of(cpu_id)
         cpu.health = (
             CpuHealth.DEGRADED if node in self._node_speed else CpuHealth.ONLINE
         )
+        if was_offline:
+            self._n_offline -= 1
+            if cpu.idle:
+                self._free.add(cpu_id)
         return True
 
     def degrade_node(self, node: int, factor: float, now: float) -> List[int]:
@@ -281,7 +346,9 @@ class Machine:
     # placement internals
     # ------------------------------------------------------------------
     def _free_cpu_ids(self) -> List[int]:
-        return [cpu.cpu_id for cpu in self.cpus if cpu.idle and cpu.allocatable]
+        # Sorted for determinism: callers rely on ascending-id order to
+        # break placement ties exactly as the old full scan did.
+        return sorted(self._free)
 
     def _grow(self, job_id: int, count: int, now: float) -> None:
         partition = self._partitions[job_id]
@@ -293,6 +360,8 @@ class Machine:
             if previous is not None and previous != job_id:
                 migrations += 1
             partition.add(cpu_id)
+            self._free.discard(cpu_id)
+            self._n_allocated += 1
         if migrations and self.trace is not None:
             self.trace.record_migrations(migrations)
 
@@ -309,15 +378,25 @@ class Machine:
                 f"(partition {sorted(partition)}, free {free}, "
                 f"offline {self.offline_cpus()})"
             )
+        node_of = self._node_of
         if not partition:
             # New partition: take the most compact run of free CPUs by
             # sorting on node and preferring whole nodes.
-            free.sort(key=lambda c: (self.topology.node_of(c), c))
+            free.sort(key=lambda c: (node_of[c], c))
             return free[:count]
 
+        # Distance from a candidate to the partition only depends on
+        # NUMA nodes, so evaluate against the partition's distinct
+        # nodes (usually far fewer than its CPUs).  Same metric as
+        # topology.distance: 0 on-node, else hypercube hop count.
+        part_nodes = {node_of[p] for p in partition}
+
         def affinity(cpu_id: int) -> tuple:
-            dist = min(self.topology.distance(cpu_id, p) for p in partition)
-            return (dist, cpu_id)
+            node = node_of[cpu_id]
+            if node in part_nodes:
+                return (0, cpu_id)
+            dist = min(bin(node ^ other).count("1") for other in part_nodes)
+            return (max(dist, 1), cpu_id)
 
         free.sort(key=affinity)
         return free[:count]
@@ -329,6 +408,9 @@ class Machine:
         for cpu_id in victims:
             self.cpus[cpu_id].assign(None, "", now, self.trace)
             partition.remove(cpu_id)
+            self._n_allocated -= 1
+            if self.cpus[cpu_id].allocatable:
+                self._free.add(cpu_id)
         return len(victims)
 
     def _pick_victims(self, partition: Set[int], count: int) -> List[int]:
@@ -339,7 +421,7 @@ class Machine:
         """
         by_node: Dict[int, List[int]] = {}
         for cpu_id in partition:
-            by_node.setdefault(self.topology.node_of(cpu_id), []).append(cpu_id)
+            by_node.setdefault(self._node_of[cpu_id], []).append(cpu_id)
         ordered_nodes = sorted(by_node, key=lambda n: (len(by_node[n]), -n))
         victims: List[int] = []
         for node in ordered_nodes:

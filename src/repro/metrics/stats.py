@@ -43,6 +43,24 @@ class JobRecord:
         """Total time in the system (end - submit)."""
         return self.end_time - self.submit_time
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-serialisable, exact float round trip)."""
+        return {
+            "job_id": self.job_id,
+            "app_name": self.app_name,
+            "app_class": self.app_class,
+            "request": self.request,
+            "submit_time": self.submit_time,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "JobRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)  # type: ignore[arg-type]
+
     @classmethod
     def from_job(cls, job: Job) -> "JobRecord":
         """Build a record from a finished :class:`Job`."""
@@ -137,6 +155,34 @@ class WorkloadResult:
     cpu_utilization: float = 0.0
     #: jobs that exhausted their retry budget under fault injection
     failed: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form used by the sweep cache and worker transport.
+
+        The encoding is exact (floats survive the JSON round trip
+        bit-for-bit), so a result rebuilt with :meth:`from_dict` is
+        indistinguishable from the original.
+        """
+        return {
+            "policy": self.policy,
+            "load": self.load,
+            "records": [r.to_dict() for r in self.records],
+            "makespan": self.makespan,
+            "migrations": self.migrations,
+            "avg_burst_time": self.avg_burst_time,
+            "avg_bursts_per_cpu": self.avg_bursts_per_cpu,
+            "reallocations": self.reallocations,
+            "max_mpl": self.max_mpl,
+            "cpu_utilization": self.cpu_utilization,
+            "failed": self.failed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WorkloadResult":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(data)
+        records = [JobRecord.from_dict(r) for r in payload.pop("records", [])]
+        return cls(records=records, **payload)  # type: ignore[arg-type]
 
     def by_app(self) -> Dict[str, ClassSummary]:
         """Per-application summaries, keyed by application name."""

@@ -1,0 +1,38 @@
+"""Parallel sweep execution with deterministic results and caching.
+
+Public surface:
+
+* :class:`~repro.parallel.runner.SweepRunner` — process-pool executor
+  with a byte-identical serial fallback and ordered result collection;
+* :class:`~repro.parallel.runner.SweepCell` — one unit of sweep work;
+* :class:`~repro.parallel.cache.ResultCache` — content-addressed
+  on-disk cache keyed by config + code version;
+* :func:`~repro.parallel.runner.derive_seed` — stable per-cell seeds.
+
+Cell functions themselves live in :mod:`repro.parallel.cells` and are
+resolved lazily by dotted path, keeping this package import-cycle-free
+with :mod:`repro.experiments`.
+"""
+
+from repro.parallel.cache import ResultCache, canonical_dumps, cell_key, code_version
+from repro.parallel.runner import (
+    SweepCell,
+    SweepRunner,
+    SweepStats,
+    derive_seed,
+    execute_cell,
+    resolve_cell_fn,
+)
+
+__all__ = [
+    "ResultCache",
+    "SweepCell",
+    "SweepRunner",
+    "SweepStats",
+    "canonical_dumps",
+    "cell_key",
+    "code_version",
+    "derive_seed",
+    "execute_cell",
+    "resolve_cell_fn",
+]

@@ -1,0 +1,132 @@
+"""Content-addressed on-disk result cache for sweep cells.
+
+A cell's cache key is the SHA-256 of a canonical encoding of
+
+* the **code version** — a digest over every ``repro`` source file, so
+  any change to the simulator invalidates the whole cache;
+* the cell's **function** (dotted ``module:attr`` path);
+* the cell's **parameters**, canonicalised recursively (dataclasses by
+  type + fields, enums by value, mappings with sorted keys).
+
+Records are stored as canonical JSON (sorted keys, no whitespace), so a
+cache hit returns byte-for-byte the same payload that a fresh run of
+the same cell would produce — warm re-runs are both instant and
+provably identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+
+def canonical(value: Any) -> Any:
+    """Reduce *value* to a deterministic JSON-encodable structure.
+
+    Dataclasses carry their qualified type name so two config classes
+    with identical fields still key differently; unknown objects fall
+    back to ``repr`` (stable for this codebase's value types).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        body = {
+            f.name: canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        cls = type(value)
+        body["__type__"] = f"{cls.__module__}.{cls.__qualname__}"
+        return body
+    if isinstance(value, enum.Enum):
+        return {"__enum__": f"{type(value).__name__}.{value.name}"}
+    if isinstance(value, dict):
+        return {str(k): canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return {"__repr__": repr(value)}
+
+
+def canonical_dumps(value: Any) -> str:
+    """Canonical JSON: sorted keys, minimal separators, repr floats."""
+    return json.dumps(canonical(value), sort_keys=True, separators=(",", ":"))
+
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (cached per process).
+
+    Hashing the sources rather than a version string means a cache can
+    never serve results computed by different simulator code.
+    """
+    global _code_version
+    if _code_version is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+        _code_version = digest.hexdigest()
+    return _code_version
+
+
+def cell_key(fn: str, params: Any, code: Optional[str] = None) -> str:
+    """Content-addressed cache key for one sweep cell."""
+    payload = canonical_dumps({
+        "code": code if code is not None else code_version(),
+        "fn": fn,
+        "params": params,
+    })
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Filesystem cache mapping cell keys to canonical-JSON records.
+
+    Layout: ``<root>/<key[:2]>/<key>.json``.  Writes go through a
+    temporary file and :func:`os.replace`, so concurrent workers and
+    interrupted runs can never leave a torn record behind.
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        """Where *key*'s record lives (whether or not it exists)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[str]:
+        """The cached canonical-JSON payload, or ``None`` on a miss."""
+        try:
+            return self.path_for(key).read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return None
+
+    def put(self, key: str, payload: str) -> None:
+        """Atomically store *payload* under *key*."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,202 @@
+"""Process-pool sweep executor.
+
+Every paper artefact is a sweep over independent (policy, workload,
+load, seed) cells; :class:`SweepRunner` fans those cells out over
+``multiprocessing`` workers while preserving the sequential semantics:
+
+* **Determinism** — a cell is a pure function of its parameters (each
+  carries its own :class:`~repro.experiments.common.ExperimentConfig`
+  with an explicit master seed), so where it executes cannot change
+  its result.  Every record is normalised through canonical JSON, and
+  the serial fallback (``jobs=1``) produces byte-identical records.
+* **Ordered collection** — results come back in submission order no
+  matter which worker finishes first.
+* **Caching** — with a :class:`~repro.parallel.cache.ResultCache`,
+  finished cells are stored content-addressed (config + code version),
+  so re-runs of unchanged cells are served from disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.parallel.cache import ResultCache, canonical_dumps, cell_key
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of sweep work.
+
+    Attributes
+    ----------
+    key:
+        Human-readable label, unique within one sweep (used in progress
+        and error messages; the cache key is content-derived, not this).
+    fn:
+        Dotted path ``"package.module:function"`` to a module-level
+        function.  A string — not a callable — so cells pickle cleanly
+        under any multiprocessing start method and hash stably.
+    params:
+        Keyword arguments for ``fn``.  Must be picklable; for caching
+        they must also canonicalise (plain values and dataclasses).
+    """
+
+    key: str
+    fn: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping for one :meth:`SweepRunner.run` call."""
+
+    cells: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+
+
+def derive_seed(base_seed: int, *parts: object) -> int:
+    """Deterministic per-cell seed from a base seed and cell identity.
+
+    Stable across processes and Python versions (unlike ``hash``), so a
+    sweep can give every cell its own independent stream while staying
+    reproducible: ``derive_seed(0, "w2", "PDPA", 1.0)`` is a constant.
+    """
+    text = ":".join([str(base_seed)] + [repr(p) for p in parts])
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF
+
+
+def resolve_cell_fn(fn: str) -> Callable[..., Any]:
+    """Import the module-level function a cell names."""
+    module_name, sep, attr = fn.partition(":")
+    if not sep or not attr:
+        raise ValueError(
+            f"cell fn must be 'module.path:function', got {fn!r}"
+        )
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attr)
+    except AttributeError as exc:
+        raise ValueError(f"module {module_name!r} has no attribute {attr!r}") from exc
+
+
+def execute_cell(fn: str, params: Mapping[str, Any]) -> str:
+    """Run one cell and return its record as canonical JSON.
+
+    Serialising inside the worker keeps the parent's collection loop
+    cheap and guarantees the serial and parallel paths emit the same
+    bytes (both go through :func:`canonical_dumps`).
+    """
+    record = resolve_cell_fn(fn)(**params)
+    return canonical_dumps(record)
+
+
+def _worker(index: int, fn: str, params: Mapping[str, Any]) -> Tuple[int, str]:
+    return index, execute_cell(fn, params)
+
+
+class SweepRunner:
+    """Executes sweep cells, optionally in parallel and/or cached.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs every cell in the
+        calling process — the serial fallback, byte-identical to the
+        parallel path.
+    cache:
+        Optional :class:`ResultCache`; ``None`` disables caching.
+    mp_context:
+        Optional multiprocessing context (e.g. from
+        ``multiprocessing.get_context("spawn")``); defaults to the
+        platform default.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        mp_context: Optional[Any] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.mp_context = mp_context
+        #: stats of the most recent run() call
+        self.last_stats = SweepStats()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, cells: Sequence[SweepCell]) -> List[Any]:
+        """Execute *cells*; returns their records in submission order.
+
+        Records are the cells' return values after a canonical-JSON
+        round trip, so a record is the same object tree whether it was
+        computed serially, in a worker, or served from the cache.
+        """
+        payloads = self.run_serialized(cells)
+        return [json.loads(p) for p in payloads]
+
+    def run_serialized(self, cells: Sequence[SweepCell]) -> List[str]:
+        """Like :meth:`run` but returns the canonical-JSON payloads."""
+        stats = SweepStats(cells=len(cells))
+        self.last_stats = stats
+        payloads: List[Optional[str]] = [None] * len(cells)
+        keys: List[Optional[str]] = [None] * len(cells)
+        pending: List[int] = []
+
+        for i, cell in enumerate(cells):
+            if self.cache is not None:
+                keys[i] = cell_key(cell.fn, cell.params)
+                hit = self.cache.get(keys[i])
+                if hit is not None:
+                    payloads[i] = hit
+                    stats.cache_hits += 1
+                    continue
+            pending.append(i)
+
+        if pending:
+            stats.executed = len(pending)
+            if self.jobs == 1 or len(pending) == 1:
+                for i in pending:
+                    payloads[i] = execute_cell(cells[i].fn, cells[i].params)
+                    self._store(keys[i], payloads[i])
+            else:
+                self._run_pool(cells, pending, payloads, keys)
+
+        assert all(p is not None for p in payloads)
+        return payloads  # type: ignore[return-value]
+
+    def _run_pool(
+        self,
+        cells: Sequence[SweepCell],
+        pending: Sequence[int],
+        payloads: List[Optional[str]],
+        keys: Sequence[Optional[str]],
+    ) -> None:
+        ctx = self.mp_context or multiprocessing.get_context()
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            futures = {
+                pool.submit(_worker, i, cells[i].fn, dict(cells[i].params))
+                for i in pending
+            }
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, payload = future.result()
+                    payloads[index] = payload
+                    self._store(keys[index], payload)
+
+    def _store(self, key: Optional[str], payload: Optional[str]) -> None:
+        if self.cache is not None and key is not None and payload is not None:
+            self.cache.put(key, payload)

@@ -51,7 +51,8 @@ class Event:
         Free-form description used in error messages and debugging.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "label", "_cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "label",
+                 "_cancelled", "_fired", "_cancel_noted")
 
     def __init__(
         self,
@@ -69,71 +70,166 @@ class Event:
         self.args = args
         self.label = label
         self._cancelled = False
+        self._fired = False
+        self._cancel_noted = False
 
     def cancel(self) -> None:
         """Prevent this event from firing.
 
         Cancelling an already-fired or already-cancelled event is a
-        harmless no-op.
+        harmless no-op.  Prefer :meth:`Simulator.cancel` (or
+        :meth:`EventQueue.cancel`), which also keeps the queue's live
+        count correct immediately; a bare ``cancel()`` is reconciled
+        lazily when the event reaches the top of the heap.
         """
-        self._cancelled = True
+        if not self._fired:
+            self._cancelled = True
 
     @property
     def cancelled(self) -> bool:
         """Whether :meth:`cancel` has been called."""
         return self._cancelled
 
+    @property
+    def fired(self) -> bool:
+        """Whether this event has already been popped for execution."""
+        return self._fired
+
     def sort_key(self) -> tuple:
         """Ordering key: (time, priority, insertion sequence)."""
         return (self.time, self.priority, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        # Hot path: this comparison runs O(log n) times per push/pop,
+        # so avoid building the sort_key() tuples.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self._cancelled else "pending"
+        state = (
+            "cancelled" if self._cancelled
+            else "fired" if self._fired
+            else "pending"
+        )
         return f"Event(t={self.time:.6f}, prio={self.priority}, {self.label!r}, {state})"
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` objects with lazy deletion."""
+    """Min-heap of :class:`Event` objects with lazy deletion.
+
+    Cancellation never removes an event from the heap; the event is
+    marked and skipped when it reaches the top.  All lazy-deletion
+    bookkeeping funnels through :meth:`_purge`, so the live count
+    stays consistent no matter how cancel / peek / pop interleave.
+    """
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._live = 0
+        #: cancellations pre-paid through the legacy note_cancelled()
+        #: hook, to be reconciled when the events surface in _purge().
+        self._noted_pending = 0
 
     def push(self, event: Event) -> None:
         """Insert *event* into the queue."""
         heapq.heappush(self._heap, event)
         self._live += 1
 
+    def cancel(self, event: Event) -> bool:
+        """Cancel *event* with immediate live-count bookkeeping.
+
+        Returns ``True`` if the event was live and is now cancelled.
+        Cancelling an event that already fired — or was already
+        cancelled — is a true no-op, so the live count can never be
+        driven negative by repeated or late cancels.
+        """
+        if event._fired or event._cancelled:
+            return False
+        event._cancelled = True
+        event._cancel_noted = True
+        self._live -= 1
+        self._check_live()
+        return True
+
+    def _purge(self) -> None:
+        """Drop cancelled events from the top of the heap.
+
+        The single place lazy deletion happens.  Events cancelled
+        through :meth:`cancel` were already accounted; events cancelled
+        behind the queue's back (bare ``Event.cancel()``) are accounted
+        here, consuming any pre-paid ``note_cancelled`` credits first.
+        """
+        heap = self._heap
+        while heap and heap[0]._cancelled:
+            event = heapq.heappop(heap)
+            if not event._cancel_noted:
+                event._cancel_noted = True
+                if self._noted_pending > 0:
+                    self._noted_pending -= 1
+                else:
+                    self._live -= 1
+        self._check_live()
+
+    def _check_live(self) -> None:
+        if self._live < 0:
+            raise SimulationError(
+                "event queue live count went negative — an event was "
+                "cancelled twice or after it fired"
+            )
+
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event.
 
-        Returns ``None`` when the queue holds no live events.
+        Returns ``None`` when the queue holds no live events.  The
+        returned event is marked fired, so a later cancel is a no-op.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._live -= 1
-            return event
-        return None
+        return self.pop_before(None)
+
+    def pop_before(self, horizon: Optional[float]) -> Optional[Event]:
+        """Pop the earliest live event at or before *horizon*.
+
+        Returns ``None`` when the queue is empty or the earliest live
+        event fires strictly after *horizon* (the event stays queued).
+        ``horizon=None`` means no bound.  This is the run loop's single
+        per-event queue operation: one purge, one heappop.
+        """
+        self._purge()
+        heap = self._heap
+        if not heap:
+            return None
+        if horizon is not None and heap[0].time > horizon:
+            return None
+        event = heapq.heappop(heap)
+        event._fired = True
+        self._live -= 1
+        return event
+
+    def peek(self) -> Optional[Event]:
+        """The earliest live event without removing it, or ``None``."""
+        self._purge()
+        return self._heap[0] if self._heap else None
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        event = self.peek()
+        return None if event is None else event.time
 
     def note_cancelled(self) -> None:
-        """Bookkeeping hook called when a pushed event is cancelled."""
+        """Bookkeeping hook called when a pushed event is cancelled.
+
+        Legacy path for callers that cancel via ``Event.cancel()``
+        directly; prefer :meth:`cancel`.  The decrement is recorded as
+        pre-paid so :meth:`_purge` does not double-count the event.
+        """
         self._live -= 1
+        self._noted_pending += 1
+        self._check_live()
 
     def __len__(self) -> int:
-        return max(self._live, 0)
+        return self._live
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None
@@ -213,18 +309,29 @@ class Simulator:
         priority: int = PRIORITY_NORMAL,
         label: str = "",
     ) -> Event:
-        """Schedule *callback(*args)* after a non-negative *delay*."""
+        """Schedule *callback(*args)* after a non-negative *delay*.
+
+        Fast path of :meth:`schedule_at`: ``now + delay`` can never lie
+        in the past, so the event is built and pushed directly.  This
+        is the hottest scheduling call (every iteration end, report and
+        timer goes through it).
+        """
         if delay < 0:
             raise SimulationError(f"negative delay {delay} for event {label!r}")
-        return self.schedule_at(
-            self._now + delay, callback, *args, priority=priority, label=label
+        event = Event(
+            self._now + delay, priority, next(self._seq), callback, args, label
         )
+        self._queue.push(event)
+        return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event."""
-        if not event.cancelled:
-            event.cancel()
-            self._queue.note_cancelled()
+        """Cancel a previously scheduled event.
+
+        Cancelling an event that already fired (or was already
+        cancelled) is a no-op — the live-event count is only adjusted
+        for events genuinely still in the queue.
+        """
+        self._queue.cancel(event)
 
     def stop(self) -> None:
         """Stop the run loop after the current event completes."""
@@ -251,17 +358,10 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired_this_run = 0
+        queue = self._queue
         try:
-            while True:
-                if self._stopped:
-                    break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self._now = max(self._now, until)
-                    break
-                event = self._queue.pop()
+            while not self._stopped:
+                event = queue.pop_before(until)
                 if event is None:
                     break
                 self._now = event.time
@@ -274,7 +374,9 @@ class Simulator:
                 event.callback(*event.args)
         finally:
             self._running = False
-        if until is not None and not self._stopped and self._queue.peek_time() is None:
-            # Queue drained before the horizon: clock still advances to it.
+        if until is not None and not self._stopped:
+            # Horizon given and not stopped: whether the queue drained
+            # or the next event lies beyond it, the clock advances to
+            # the horizon.
             self._now = max(self._now, until)
         return self._now

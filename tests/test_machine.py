@@ -176,6 +176,102 @@ class TestMigrationAccounting:
 
 
 @st.composite
+def machine_ops_with_faults(draw):
+    """Random partition operations interleaved with fail/repair."""
+    return draw(st.lists(
+        st.tuples(
+            st.sampled_from(["start", "resize", "finish", "fail", "repair"]),
+            st.integers(1, 5), st.integers(1, 11),
+        ),
+        min_size=1, max_size=30,
+    ))
+
+
+class TestIncrementalBookkeeping:
+    """The O(1) counters must always agree with a ground-truth scan."""
+
+    def test_invariants_after_partition_churn(self):
+        machine = Machine(16)
+        machine.start_job(1, "a", 5, 0.0)
+        machine.check_invariants()
+        machine.start_job(2, "b", 7, 0.0)
+        machine.resize_job(1, 2, 1.0)
+        machine.check_invariants()
+        machine.resize_job(2, 10, 2.0)
+        machine.finish_job(1, 3.0)
+        machine.check_invariants()
+        machine.start_job(3, "c", 6, 4.0)
+        machine.finish_job(2, 5.0)
+        machine.finish_job(3, 6.0)
+        machine.check_invariants()
+        assert machine.free_cpus == 16
+
+    def test_invariants_through_fail_and_repair(self):
+        machine = Machine(8)
+        machine.start_job(1, "a", 4, 0.0)
+        owner = machine.fail_cpu(machine.partition_of(1)[0], 1.0)
+        assert owner == 1
+        machine.check_invariants()
+        assert machine.healthy_cpus == 7
+        machine.fail_cpu(7, 2.0)  # idle CPU
+        machine.check_invariants()
+        assert machine.healthy_cpus == 6
+        machine.repair_cpu(7, 3.0)
+        machine.check_invariants()
+        assert machine.healthy_cpus == 7
+
+    def test_invariants_through_degrade_and_restore(self):
+        machine = Machine(8)
+        machine.start_job(1, "a", 3, 0.0)
+        machine.degrade_node(0, 0.5, 1.0)
+        machine.check_invariants()
+        machine.restore_node(0, 2.0)
+        machine.check_invariants()
+
+    def test_finalize_checks_invariants(self):
+        machine = Machine(8)
+        machine.start_job(1, "a", 4, 0.0)
+        machine.finish_job(1, 1.0)
+        machine.finalize(2.0)  # runs check_invariants internally
+
+    def test_corrupted_free_set_raises(self):
+        machine = Machine(8)
+        machine.start_job(1, "a", 4, 0.0)
+        machine._free.add(machine.partition_of(1)[0])  # corrupt the books
+        with pytest.raises(MachineError):
+            machine.check_invariants()
+
+    def test_corrupted_allocation_counter_raises(self):
+        machine = Machine(8)
+        machine.start_job(1, "a", 4, 0.0)
+        machine._n_allocated += 1
+        with pytest.raises(MachineError):
+            machine.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(machine_ops_with_faults())
+    def test_counters_match_ground_truth_under_random_ops(self, ops):
+        machine = Machine(12)
+        now = 0.0
+        for op, job_id, procs in ops:
+            now += 1.0
+            try:
+                if op == "start":
+                    machine.start_job(job_id, f"app{job_id}", procs, now)
+                elif op == "resize":
+                    machine.resize_job(job_id, procs, now)
+                elif op == "finish":
+                    machine.finish_job(job_id, now)
+                elif op == "fail":
+                    machine.fail_cpu(procs % 12, now)
+                else:
+                    machine.repair_cpu(procs % 12, now)
+            except MachineError:
+                continue
+            machine.check_invariants()
+
+
+@st.composite
 def machine_ops(draw):
     """A random sequence of partition operations on a small machine."""
     ops = draw(st.lists(

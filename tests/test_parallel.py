@@ -1,0 +1,230 @@
+"""Tests for the parallel sweep executor, cache and determinism guard.
+
+The load-bearing guarantee of :mod:`repro.parallel` is that *where* a
+cell executes can never change *what* it computes: a pool of worker
+processes must produce byte-for-byte the records the serial path
+produces, and a cache hit must return byte-for-byte what a fresh run
+would.  These tests pin that guarantee down, including under fault
+injection.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    run_workload,
+    run_workload_cells,
+    workload_cell_spec,
+)
+from repro.faults.scenarios import build_scenario
+from repro.parallel import (
+    ResultCache,
+    SweepCell,
+    SweepRunner,
+    canonical_dumps,
+    cell_key,
+    code_version,
+    derive_seed,
+    execute_cell,
+)
+
+#: Small machine + short window: each cell takes well under a second.
+CONFIG = ExperimentConfig(n_cpus=32, duration=120.0, seed=7)
+
+
+def _echo_cells(n):
+    return [
+        SweepCell(key=f"echo{i}", fn="repro.parallel.cells:echo_cell",
+                  params={"i": i, "x": i * 0.1})
+        for i in range(n)
+    ]
+
+
+class TestDeriveSeed:
+    def test_stable_value(self):
+        # Pinned: changing this breaks reproducibility of published sweeps.
+        assert derive_seed(0, "w2", "PDPA", 1.0) == 1526550351
+
+    def test_differs_by_part(self):
+        seeds = {
+            derive_seed(0, "w2", "PDPA", 1.0),
+            derive_seed(0, "w2", "PDPA", 0.8),
+            derive_seed(0, "w3", "PDPA", 1.0),
+            derive_seed(1, "w2", "PDPA", 1.0),
+        }
+        assert len(seeds) == 4
+
+    def test_fits_in_31_bits(self):
+        for i in range(50):
+            assert 0 <= derive_seed(i, "x") < 2 ** 31
+
+
+class TestCellKey:
+    def test_key_depends_on_params(self):
+        a = cell_key("m:f", {"x": 1}, code="c")
+        b = cell_key("m:f", {"x": 2}, code="c")
+        assert a != b
+
+    def test_key_depends_on_code_version(self):
+        assert cell_key("m:f", {}, code="c1") != cell_key("m:f", {}, code="c2")
+
+    def test_key_order_insensitive(self):
+        a = cell_key("m:f", {"x": 1, "y": 2}, code="c")
+        b = cell_key("m:f", {"y": 2, "x": 1}, code="c")
+        assert a == b
+
+    def test_dataclass_params_canonicalise(self):
+        a = cell_key("m:f", {"config": CONFIG}, code="c")
+        b = cell_key("m:f", {"config": ExperimentConfig(n_cpus=32, duration=120.0, seed=7)}, code="c")
+        c = cell_key("m:f", {"config": CONFIG.with_seed(8)}, code="c")
+        assert a == b
+        assert a != c
+
+    def test_code_version_is_stable_within_process(self):
+        assert code_version() == code_version()
+
+
+class TestResultCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, '{"x":1}')
+        assert cache.get("ab" * 32) == '{"x":1}'
+        assert len(cache) == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("cd" * 32) is None
+
+    def test_runner_hits_cache_on_rerun(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(cache=cache)
+        cells = _echo_cells(4)
+        cold = runner.run_serialized(cells)
+        assert runner.last_stats.executed == 4
+        warm = runner.run_serialized(cells)
+        assert runner.last_stats.cache_hits == 4
+        assert runner.last_stats.executed == 0
+        assert cold == warm
+
+    def test_no_cache_recomputes(self, tmp_path):
+        runner = SweepRunner()  # cache disabled
+        cells = _echo_cells(2)
+        runner.run_serialized(cells)
+        runner.run_serialized(cells)
+        assert runner.last_stats.cache_hits == 0
+        assert runner.last_stats.executed == 2
+
+    def test_cache_payload_matches_fresh_execution(self, tmp_path):
+        cell = _echo_cells(1)[0]
+        cache = ResultCache(tmp_path)
+        SweepRunner(cache=cache).run_serialized([cell])
+        assert cache.get(cell_key(cell.fn, cell.params)) == execute_cell(
+            cell.fn, cell.params
+        )
+
+
+class TestSweepRunner:
+    def test_results_in_submission_order(self):
+        cells = _echo_cells(8)
+        for runner in (SweepRunner(), SweepRunner(jobs=4)):
+            records = runner.run(cells)
+            assert [r["i"] for r in records] == list(range(8))
+
+    def test_parallel_matches_serial_bytes(self):
+        cells = _echo_cells(6)
+        assert SweepRunner().run_serialized(cells) == SweepRunner(
+            jobs=3
+        ).run_serialized(cells)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+
+    def test_bad_cell_fn_rejected(self):
+        with pytest.raises(ValueError):
+            execute_cell("no-colon", {})
+        with pytest.raises(ValueError):
+            execute_cell("repro.parallel.cells:not_a_cell", {})
+
+    def test_empty_sweep(self):
+        assert SweepRunner(jobs=4).run([]) == []
+
+    def test_worker_exception_propagates(self):
+        cells = [SweepCell(key="bad", fn="repro.parallel.cells:workload_cell",
+                           params={"policy": "NoSuchPolicy", "workload": "w1",
+                                   "load": 1.0, "config": CONFIG})]
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=2).run(cells)
+
+
+def _guard_cells():
+    """w2/w3 at two load points plus a cpukill8 fault cell (traced)."""
+    cells = []
+    for workload in ("w2", "w3"):
+        for load in (0.8, 1.0):
+            cells.append(SweepCell(
+                key=f"{workload}@{load}",
+                fn="repro.parallel.cells:traced_workload_cell",
+                params={"policy": "PDPA", "workload": workload,
+                        "load": load, "config": CONFIG},
+            ))
+    faulted = CONFIG.with_faults(build_scenario("cpukill8", CONFIG.n_cpus))
+    cells.append(SweepCell(
+        key="w2@1.0+cpukill8",
+        fn="repro.parallel.cells:traced_workload_cell",
+        params={"policy": "PDPA", "workload": "w2", "load": 1.0,
+                "config": faulted},
+    ))
+    return cells
+
+
+class TestDeterminismGuard:
+    """SweepRunner(jobs=4) must be byte-identical to the serial path."""
+
+    def test_parallel_byte_identical_to_serial(self):
+        cells = _guard_cells()
+        serial = SweepRunner().run_serialized(cells)
+        parallel = SweepRunner(jobs=4).run_serialized(cells)
+        assert serial == parallel
+        # The digests cover the full trace, not just the result record.
+        for payload in serial:
+            assert json.loads(payload)["trace_digest"]
+
+    def test_spawn_context_byte_identical(self):
+        # Workers started from a cold interpreter (no inherited state)
+        # must still reproduce the same bytes as in-process execution.
+        cells = _guard_cells()[:2]
+        serial = SweepRunner().run_serialized(cells)
+        spawned = SweepRunner(
+            jobs=2, mp_context=multiprocessing.get_context("spawn")
+        ).run_serialized(cells)
+        assert serial == spawned
+
+    def test_cell_record_matches_direct_run(self):
+        # The cell transport (canonical JSON) must not disturb values.
+        out = run_workload("PDPA", "w2", 0.8, CONFIG)
+        cells = [workload_cell_spec("PDPA", "w2", 0.8, CONFIG)]
+        (result,) = run_workload_cells(cells)
+        assert result == out.result
+
+    def test_cached_rerun_byte_identical(self, tmp_path):
+        cells = _guard_cells()
+        fresh = SweepRunner().run_serialized(cells)
+        cache = ResultCache(tmp_path)
+        SweepRunner(jobs=4, cache=cache).run_serialized(cells)
+        warm_runner = SweepRunner(cache=cache)
+        warm = warm_runner.run_serialized(cells)
+        assert warm_runner.last_stats.cache_hits == len(cells)
+        assert warm == fresh
+
+
+class TestCanonicalJson:
+    def test_floats_roundtrip_exactly(self):
+        values = [0.1, 1 / 3, 1e-17, 123456.789012345]
+        payload = canonical_dumps({"v": values})
+        assert json.loads(payload)["v"] == values
+
+    def test_sorted_keys_minimal_separators(self):
+        assert canonical_dumps({"b": 1, "a": 2}) == '{"a":2,"b":1}'

@@ -88,6 +88,156 @@ class TestCancellation:
         assert sim.pending_events == 1
 
 
+class TestCancelAfterFire:
+    def test_cancel_after_fire_is_noop(self, sim):
+        event = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.run()
+        assert event.fired
+        sim.cancel(event)  # must not decrement the live count
+        assert sim.pending_events == 0
+        assert not event.cancelled
+
+    def test_cancel_own_event_inside_callback(self, sim):
+        seen = []
+        holder = {}
+
+        def fire():
+            seen.append("fired")
+            sim.cancel(holder["event"])  # cancelling the running event
+
+        holder["event"] = sim.schedule_at(1.0, fire)
+        sim.schedule_at(2.0, seen.append, "later")
+        sim.run()
+        assert seen == ["fired", "later"]
+
+    def test_repeated_cancel_after_fire_keeps_count_consistent(self, sim):
+        events = [sim.schedule_at(float(t), lambda: None) for t in range(1, 4)]
+        sim.run()
+        for event in events:
+            sim.cancel(event)
+            sim.cancel(event)
+        assert sim.pending_events == 0
+        # The queue must still be usable afterwards.
+        seen = []
+        sim.schedule_at(5.0, seen.append, "x")
+        sim.run()
+        assert seen == ["x"]
+
+    def test_bare_event_cancel_after_fire_is_noop(self, sim):
+        event = sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        event.cancel()
+        assert not event.cancelled
+
+    def test_live_count_negative_raises(self):
+        q = EventQueue()
+        q.push(Event(1.0, 0, 0, lambda: None, (), "t"))
+        q.note_cancelled()
+        with pytest.raises(SimulationError, match="negative"):
+            q.note_cancelled()
+
+
+class TestLazyDeletionInterleavings:
+    def _event(self, time, seq=0):
+        return Event(time, 0, seq, lambda: None, (), "t")
+
+    def test_cancel_peek_pop_interleaving(self):
+        q = EventQueue()
+        events = [self._event(float(t), seq=t) for t in range(6)]
+        for event in events:
+            q.push(event)
+        q.cancel(events[0])
+        assert q.peek() is events[1]
+        q.cancel(events[2])
+        popped = q.pop()
+        assert popped is events[1]
+        assert q.peek_time() == 3.0
+        q.cancel(events[4])
+        assert [q.pop().time for _ in range(2)] == [3.0, 5.0]
+        assert q.pop() is None
+        assert len(q) == 0
+
+    def test_mixed_bare_and_queue_cancel(self):
+        q = EventQueue()
+        events = [self._event(float(t), seq=t) for t in range(4)]
+        for event in events:
+            q.push(event)
+        # Legacy path: bare cancel + note_cancelled credit.
+        events[0].cancel()
+        q.note_cancelled()
+        # Modern path on another event.
+        q.cancel(events[1])
+        assert len(q) == 2
+        assert q.pop() is events[2]
+        assert q.pop() is events[3]
+        assert q.pop() is None
+        assert len(q) == 0
+
+    def test_cancel_then_queue_cancel_counts_once(self):
+        q = EventQueue()
+        event = self._event(1.0)
+        q.push(event)
+        q.push(self._event(2.0, seq=1))
+        event.cancel()          # bare, unaccounted
+        assert not q.cancel(event)  # queue cancel must refuse a second count
+        q.note_cancelled()      # legacy credit for the bare cancel
+        assert len(q) == 1
+        assert q.pop().time == 2.0
+        assert len(q) == 0
+
+    def test_pop_before_horizon_leaves_later_events(self):
+        q = EventQueue()
+        q.push(self._event(1.0, seq=0))
+        q.push(self._event(5.0, seq=1))
+        assert q.pop_before(2.0).time == 1.0
+        assert q.pop_before(2.0) is None
+        assert len(q) == 1
+        assert q.pop_before(5.0).time == 5.0
+
+    def test_popped_event_is_marked_fired(self):
+        q = EventQueue()
+        event = self._event(1.0)
+        q.push(event)
+        assert q.pop() is event
+        assert event.fired
+        assert not q.cancel(event)
+
+
+class TestRunUntilEdgeCases:
+    def test_horizon_exactly_on_event_time_fires_event(self, sim):
+        seen = []
+        sim.schedule_at(3.0, seen.append, "on-horizon")
+        sim.schedule_at(3.5, seen.append, "after")
+        end = sim.run(until=3.0)
+        assert seen == ["on-horizon"]
+        assert end == 3.0
+
+    def test_stop_in_callback_with_pending_horizon(self, sim):
+        seen = []
+        sim.schedule_at(1.0, lambda: (seen.append("a"), sim.stop()))
+        sim.schedule_at(2.0, seen.append, "b")
+        end = sim.run(until=10.0)
+        # stop() wins: the clock must not jump to the horizon, and the
+        # later event stays queued.
+        assert seen == ["a"]
+        assert end == 1.0
+        assert sim.pending_events == 1
+        sim.run()
+        assert seen == ["a", "b"]
+
+    def test_until_with_empty_queue_advances_clock(self, sim):
+        assert sim.run(until=7.5) == 7.5
+        assert sim.now == 7.5
+
+    def test_max_events_message_names_the_limit(self, sim):
+        def forever():
+            sim.schedule_after(0.1, forever)
+        sim.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError, match="max_events=7"):
+            sim.run(max_events=7)
+
+
 class TestRunControl:
     def test_run_until_stops_before_later_events(self, sim):
         seen = []

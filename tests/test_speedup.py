@@ -173,3 +173,50 @@ class TestPchipSlopes:
     def test_local_extremum_gets_zero_slope(self):
         slopes = _pchip_slopes([0, 1, 2], [0.0, 1.0, 0.0])
         assert slopes[1] == 0.0
+
+
+class TestMemoization:
+    def test_compute_called_once_per_procs(self):
+        calls = []
+        curve = AmdahlSpeedup(0.05)
+        original = curve._compute
+
+        def counting(procs):
+            calls.append(procs)
+            return original(procs)
+
+        curve._compute = counting
+        for _ in range(5):
+            curve.speedup(8)
+        assert calls == [8]
+        curve.speedup(16)
+        assert calls == [8, 16]
+
+    def test_memoized_value_matches_compute(self):
+        curve = AmdahlSpeedup(0.1)
+        fresh = AmdahlSpeedup(0.1)
+        for p in (1, 2, 4, 8, 16, 8, 4):
+            assert curve.speedup(p) == fresh._compute(p)
+
+    def test_cache_is_per_instance(self):
+        a = AmdahlSpeedup(0.0)
+        b = AmdahlSpeedup(0.5)
+        assert a.speedup(4) == pytest.approx(4.0)
+        assert b.speedup(4) == pytest.approx(1.6)
+
+    def test_cache_bound_clears_and_stays_correct(self):
+        from repro.apps import speedup as speedup_mod
+
+        curve = AmdahlSpeedup(0.05)
+        limit = speedup_mod._SPEEDUP_CACHE_LIMIT
+        for p in range(1, limit + 10):
+            curve.speedup(p)
+        assert len(curve._speedup_cache) <= limit
+        # Values after the clear are still correct.
+        assert curve.speedup(2) == pytest.approx(AmdahlSpeedup(0.05)._compute(2))
+
+    def test_degrading_curve_memoizes_decay(self):
+        curve = DegradingSpeedup(AmdahlSpeedup(0.0), peak_procs=4, decay_per_proc=0.5)
+        first = curve.speedup(8)
+        assert curve.speedup(8) == first
+        assert first < curve.speedup(4)
