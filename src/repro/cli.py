@@ -53,6 +53,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="ignore --cache-dir (compute every cell fresh)",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="per-cell wall-clock timeout for sweep cells; hung workers "
+             "are killed and the cell retried (enables supervision)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="re-attempts for a crashed/hung/lost sweep cell before it is "
+             "quarantined as a poison cell (default 2 when supervision "
+             "is enabled; enables supervision)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="abort the sweep as soon as any cell exhausts its retry "
+             "budget, instead of quarantining it and carrying on",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay completed cells from the sweep journal in "
+             "--cache-dir and execute only the unfinished ones "
+             "(requires --cache-dir)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("speedups", help="print the Fig. 3 speedup curves")
@@ -113,14 +135,43 @@ def _config(args: argparse.Namespace, mpl: Optional[int] = None) -> ExperimentCo
 
 def _runner(args: argparse.Namespace):
     """Sweep runner from the global flags; ``None`` means plain serial."""
-    from repro.parallel import ResultCache, SweepRunner
+    from pathlib import Path
+
+    from repro.parallel import (
+        ResultCache,
+        SupervisionPolicy,
+        SweepJournal,
+        SweepRunner,
+    )
 
     cache = None
     if args.cache_dir and not args.no_cache:
         cache = ResultCache(args.cache_dir)
-    if args.jobs == 1 and cache is None:
+    if args.resume and cache is None:
+        raise SystemExit("--resume requires --cache-dir (the journal lives there)")
+
+    supervision = None
+    if args.timeout is not None or args.retries is not None or args.strict:
+        supervision = SupervisionPolicy(
+            timeout=args.timeout,
+            retries=args.retries if args.retries is not None else 2,
+        )
+
+    journal = None
+    if cache is not None:
+        journal = SweepJournal(
+            Path(args.cache_dir) / "journal.jsonl", resume=args.resume
+        )
+
+    if args.jobs == 1 and cache is None and supervision is None:
         return None
-    return SweepRunner(jobs=args.jobs, cache=cache)
+    return SweepRunner(
+        jobs=args.jobs,
+        cache=cache,
+        supervision=supervision,
+        journal=journal,
+        strict=args.strict,
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> str:

@@ -295,9 +295,32 @@ def run_workload_cells(
     With ``runner=None`` a serial, uncached runner is used — the
     records are byte-identical either way, because every path funnels
     through the same canonical-JSON encoding.
+
+    Experiments need every record: if the runner quarantined poison
+    cells (supervised mode), this raises
+    :class:`~repro.parallel.errors.PoisonCellError` naming them rather
+    than rendering tables with holes.  By then every *other* cell is
+    already cached and journalled, so a re-run is cheap.
     """
     runner = runner or SweepRunner()
-    return [WorkloadResult.from_dict(record) for record in runner.run(cells)]
+    records = runner.run(cells)
+    missing = [cells[i].key for i, r in enumerate(records) if r is None]
+    if missing:
+        from repro.parallel import PoisonCellError
+
+        failures = {f.key: f for f in runner.last_stats.failures}
+        detail = "; ".join(
+            f"{key} ({failures[key].kind}: {failures[key].detail})"
+            if key in failures else key
+            for key in missing
+        )
+        error = PoisonCellError(missing[0], attempts=0)
+        error.args = (
+            f"{len(missing)} cell(s) quarantined; experiment needs every "
+            f"record: {detail}",
+        )
+        raise error from None
+    return [WorkloadResult.from_dict(record) for record in records]
 
 
 def average_results(results: Sequence[WorkloadResult]) -> Dict[str, Dict[str, float]]:

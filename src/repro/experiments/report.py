@@ -147,5 +147,15 @@ def generate_report(
         ))
 
     elapsed = time.time() - started
-    parts.append(f"---\nGenerated in {elapsed:.1f} s of wall-clock time.")
+    footer = f"---\nGenerated in {elapsed:.1f} s of wall-clock time."
+    if runner is not None:
+        totals = runner.total_stats
+        footer += f"\nSweep harness: {totals.summary_line()}."
+        for failure in totals.failures:
+            footer += (
+                f"\n  quarantined: {failure.key} "
+                f"({failure.kind} after {failure.attempts} attempts: "
+                f"{failure.detail})"
+            )
+    parts.append(footer)
     return "\n".join(parts)

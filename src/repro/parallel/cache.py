@@ -12,6 +12,17 @@ Records are stored as canonical JSON (sorted keys, no whitespace), so a
 cache hit returns byte-for-byte the same payload that a fresh run of
 the same cell would produce — warm re-runs are both instant and
 provably identical.
+
+Integrity
+---------
+Disk is not trusted.  Every record is stored with a header naming its
+length and SHA-256; :meth:`ResultCache.get` verifies both before
+serving a single byte.  An entry that fails the check — truncated,
+bit-flipped, or hand-edited — is **quarantined** (renamed to
+``*.corrupt``) and reported as a miss, so the cell is transparently
+recomputed rather than poisoning downstream artefacts or crashing the
+sweep.  Real I/O errors (``EACCES`` and friends) are logged once and
+likewise degrade to misses instead of aborting.
 """
 
 from __future__ import annotations
@@ -20,22 +31,43 @@ import dataclasses
 import enum
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Dict, Optional
+
+logger = logging.getLogger(__name__)
+
+#: header magic for integrity-checked cache records
+_MAGIC = "repro-cache-v2"
 
 
-def canonical(value: Any) -> Any:
+class UnserialisableValue(ValueError):
+    """Strict canonicalisation met a value only ``repr`` could encode."""
+
+    def __init__(self, path: str, value: Any) -> None:
+        super().__init__(
+            f"value at {path} is not canonically serialisable: "
+            f"{type(value).__name__} ({value!r})"
+        )
+        self.path = path
+        self.value = value
+
+
+def canonical(value: Any, strict: bool = False, _path: str = "$") -> Any:
     """Reduce *value* to a deterministic JSON-encodable structure.
 
     Dataclasses carry their qualified type name so two config classes
     with identical fields still key differently; unknown objects fall
-    back to ``repr`` (stable for this codebase's value types).
+    back to ``repr`` (stable for this codebase's value types).  The
+    fallback is fine for *hashing* cache keys but lossy for *payloads*
+    — ``strict=True`` raises :class:`UnserialisableValue` instead, so
+    an undecodable record is never silently cached.
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         body = {
-            f.name: canonical(getattr(value, f.name))
+            f.name: canonical(getattr(value, f.name), strict, f"{_path}.{f.name}")
             for f in dataclasses.fields(value)
         }
         cls = type(value)
@@ -44,17 +76,25 @@ def canonical(value: Any) -> Any:
     if isinstance(value, enum.Enum):
         return {"__enum__": f"{type(value).__name__}.{value.name}"}
     if isinstance(value, dict):
-        return {str(k): canonical(v) for k, v in value.items()}
+        return {
+            str(k): canonical(v, strict, f"{_path}.{k}") for k, v in value.items()
+        }
     if isinstance(value, (list, tuple)):
-        return [canonical(v) for v in value]
+        return [
+            canonical(v, strict, f"{_path}[{i}]") for i, v in enumerate(value)
+        ]
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
+    if strict:
+        raise UnserialisableValue(_path, value)
     return {"__repr__": repr(value)}
 
 
-def canonical_dumps(value: Any) -> str:
+def canonical_dumps(value: Any, strict: bool = False) -> str:
     """Canonical JSON: sorted keys, minimal separators, repr floats."""
-    return json.dumps(canonical(value), sort_keys=True, separators=(",", ":"))
+    return json.dumps(
+        canonical(value, strict=strict), sort_keys=True, separators=(",", ":")
+    )
 
 
 _code_version: Optional[str] = None
@@ -90,35 +130,108 @@ def cell_key(fn: str, params: Any, code: Optional[str] = None) -> str:
 class ResultCache:
     """Filesystem cache mapping cell keys to canonical-JSON records.
 
-    Layout: ``<root>/<key[:2]>/<key>.json``.  Writes go through a
-    temporary file and :func:`os.replace`, so concurrent workers and
-    interrupted runs can never leave a torn record behind.
+    Layout: ``<root>/<key[:2]>/<key>.rec``.  A record is one header
+    line (magic, payload SHA-256, payload length) followed by the raw
+    payload.  Writes go through a temporary file and
+    :func:`os.replace`, so concurrent workers and interrupted runs can
+    never leave a torn record behind — and if anything *else* tears
+    one (disk corruption, manual edits), :meth:`get` catches it.
     """
 
     def __init__(self, root: os.PathLike) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: corrupt entries detected (and quarantined) by this instance
+        self.corrupt_detected = 0
+        #: non-ENOENT I/O errors swallowed as misses by this instance
+        self.io_errors = 0
+        self._io_error_logged = False
 
     def path_for(self, key: str) -> Path:
         """Where *key*'s record lives (whether or not it exists)."""
-        return self.root / key[:2] / f"{key}.json"
+        return self.root / key[:2] / f"{key}.rec"
 
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[str]:
-        """The cached canonical-JSON payload, or ``None`` on a miss."""
-        try:
-            return self.path_for(key).read_text(encoding="utf-8")
-        except (FileNotFoundError, OSError):
-            return None
+        """The cached payload, integrity-verified, or ``None`` on a miss.
 
+        Corrupt entries are quarantined (renamed ``*.corrupt``) and
+        treated as misses; unreadable entries (permissions, transient
+        I/O) are logged once and treated as misses.
+        """
+        path = self.path_for(key)
+        try:
+            blob = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            self.io_errors += 1
+            if not self._io_error_logged:
+                self._io_error_logged = True
+                logger.warning(
+                    "result cache read failed (%s: %s) — treating as a miss; "
+                    "further I/O errors on this cache will be counted silently",
+                    type(exc).__name__, exc,
+                )
+            return None
+        payload = self._verify(key, blob)
+        if payload is None:
+            self._quarantine(path)
+        return payload
+
+    def _verify(self, key: str, blob: str) -> Optional[str]:
+        """Check header magic, key, length and digest; payload or ``None``.
+
+        The header names the key the record was written under, so an
+        entry spliced in from another cell — internally consistent,
+        wrong content — is caught too, not just bit rot.
+        """
+        header, sep, payload = blob.partition("\n")
+        fields = header.split(" ")
+        if not sep or len(fields) != 4 or fields[0] != _MAGIC:
+            return None
+        try:
+            owner = fields[1].split("=", 1)[1]
+            digest = fields[2].split("=", 1)[1]
+            length = int(fields[3].split("=", 1)[1])
+        except (IndexError, ValueError):
+            return None
+        if owner != key or len(payload) != length:
+            return None
+        if hashlib.sha256(payload.encode("utf-8")).hexdigest() != digest:
+            return None
+        return payload
+
+    def _quarantine(self, path: Path) -> None:
+        self.corrupt_detected += 1
+        logger.warning(
+            "corrupt cache entry %s quarantined; the cell will be recomputed",
+            path.name,
+        )
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            # Even the rename failing must not break the sweep; the
+            # entry stays in place and keeps reading as a miss.
+            pass
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
     def put(self, key: str, payload: str) -> None:
-        """Atomically store *payload* under *key*."""
+        """Atomically store *payload* (with integrity header) under *key*."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        header = f"{_MAGIC} key={key} sha256={digest} bytes={len(payload)}\n"
         fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+            dir=str(path.parent), prefix=".tmp-", suffix=".rec"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(header)
                 handle.write(payload)
             os.replace(tmp_name, path)
         except BaseException:
@@ -128,5 +241,53 @@ class ResultCache:
                 pass
             raise
 
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Entry/byte counts plus corruption and I/O error counters."""
+        entries = 0
+        total_bytes = 0
+        quarantined = 0
+        for path in self.root.glob("*/*"):
+            if path.suffix == ".rec" and not path.name.startswith(".tmp-"):
+                entries += 1
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    pass
+            elif path.suffix == ".corrupt":
+                quarantined += 1
+        return {
+            "entries": entries,
+            "bytes": total_bytes,
+            "quarantined": quarantined,
+            "corrupt_detected": self.corrupt_detected,
+            "io_errors": self.io_errors,
+        }
+
+    def prune(self) -> int:
+        """Remove quarantined, temporary and legacy files; returns count.
+
+        Legacy here means pre-integrity ``*.json`` records: they carry
+        no checksum, and their keys can never match again anyway (the
+        code version moved), so they are dead weight.
+        """
+        removed = 0
+        for path in list(self.root.glob("*/*")):
+            stale = (
+                path.suffix in (".corrupt", ".json")
+                or path.name.startswith(".tmp-")
+            )
+            if stale:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(
+            1 for p in self.root.glob("*/*.rec") if not p.name.startswith(".tmp-")
+        )

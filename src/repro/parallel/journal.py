@@ -1,0 +1,160 @@
+"""Write-ahead sweep journal: crash-safe progress for long sweeps.
+
+The :class:`~repro.parallel.cache.ResultCache` makes finished cells
+*reusable*; the journal makes a sweep's **progress** durable.  Every
+completed cell appends one JSONL record — cache key, payload digest,
+payload length — to an append-only file that is flushed and
+``fsync``'d before the runner moves on.  Kill the parent process at
+any instant and the journal still names exactly the cells that
+finished, each with the SHA-256 its payload must hash to.
+
+Resume (``--resume``) replays the journal: a cell whose key appears in
+the journal *and* whose cached payload matches the journalled digest
+is served without re-execution; everything else — including cells
+whose cache entry rotted after the journal was written — is recomputed.
+Because payloads are canonical JSON, a resumed sweep is byte-identical
+to an uninterrupted one.
+
+Torn tails are expected, not fatal: a record interrupted mid-write
+(power loss between ``write`` and ``fsync``) leaves a final line that
+does not parse; :meth:`SweepJournal.load` stops at the first such line
+and the cell is simply recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+
+def payload_digest(payload: str) -> str:
+    """SHA-256 hex digest of a canonical-JSON payload."""
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class JournalEntry:
+    """One completed cell as recorded in the journal."""
+
+    __slots__ = ("key", "digest", "length", "label")
+
+    def __init__(self, key: str, digest: str, length: int, label: str = "") -> None:
+        self.key = key
+        self.digest = digest
+        self.length = length
+        self.label = label
+
+    def matches(self, payload: str) -> bool:
+        """Whether *payload* is byte-identical to the journalled one."""
+        return len(payload) == self.length and payload_digest(payload) == self.digest
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"v": 1, "key": self.key, "sha256": self.digest,
+             "bytes": self.length, "label": self.label},
+            sort_keys=True, separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "JournalEntry":
+        obj = json.loads(line)
+        if obj.get("v") != 1:
+            raise ValueError(f"unknown journal record version {obj.get('v')!r}")
+        return cls(
+            key=obj["key"], digest=obj["sha256"],
+            length=int(obj["bytes"]), label=obj.get("label", ""),
+        )
+
+
+class SweepJournal:
+    """Append-only JSONL journal of completed sweep cells.
+
+    Parameters
+    ----------
+    path:
+        Journal file.  Parent directories are created on first append.
+    resume:
+        ``True`` loads surviving records and appends after them;
+        ``False`` (a fresh sweep) truncates any existing journal.
+    """
+
+    def __init__(self, path: os.PathLike, resume: bool = False) -> None:
+        self.path = Path(path)
+        self.resume = resume
+        self.entries: Dict[str, JournalEntry] = {}
+        self.torn_tail = False
+        if resume:
+            self.entries = dict(self.load(self.path))
+        elif self.path.exists():
+            self.path.unlink()
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def load(self, path: Path) -> Iterator[tuple]:
+        """Yield ``(key, entry)`` for every intact record in *path*.
+
+        Stops at the first line that fails to parse — by construction
+        that can only be a torn tail (records are written atomically
+        from the journal's point of view: single ``write`` + fsync).
+        """
+        if not path.exists():
+            return
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                entry = JournalEntry.from_json(line.decode("utf-8"))
+            except (ValueError, KeyError, UnicodeDecodeError):
+                self.torn_tail = True
+                break
+            yield entry.key, entry
+
+    def get(self, key: str) -> Optional[JournalEntry]:
+        """The journalled entry for *key*, or ``None``."""
+        return self.entries.get(key)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, key: str, payload: str, label: str = "") -> JournalEntry:
+        """Durably record that *key* completed with *payload*.
+
+        The record is written in one ``write`` call, flushed, and
+        ``fsync``'d before this returns — after that, no crash of the
+        parent can lose the fact that the cell finished.
+        """
+        entry = JournalEntry(
+            key=key, digest=payload_digest(payload),
+            length=len(payload), label=label,
+        )
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "ab")
+        self._handle.write(entry.to_json().encode("utf-8") + b"\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.entries[key] = entry
+        return entry
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

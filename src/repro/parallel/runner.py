@@ -1,4 +1,4 @@
-"""Process-pool sweep executor.
+"""Process-pool sweep executor with supervised, restartable execution.
 
 Every paper artefact is a sweep over independent (policy, workload,
 load, seed) cells; :class:`SweepRunner` fans those cells out over
@@ -14,6 +14,15 @@ load, seed) cells; :class:`SweepRunner` fans those cells out over
 * **Caching** — with a :class:`~repro.parallel.cache.ResultCache`,
   finished cells are stored content-addressed (config + code version),
   so re-runs of unchanged cells are served from disk.
+* **Supervision** — with a
+  :class:`~repro.parallel.supervisor.SupervisionPolicy`, crashed or
+  hung cells are retried with backoff, broken pools are rebuilt, and
+  cells that keep failing are quarantined as *poison cells* and
+  reported in :class:`SweepStats` instead of aborting the sweep.
+* **Journalling** — with a
+  :class:`~repro.parallel.journal.SweepJournal`, every completion is
+  durably recorded, so an interrupted sweep can ``resume`` and replay
+  finished cells byte-identically instead of recomputing them.
 """
 
 from __future__ import annotations
@@ -22,11 +31,23 @@ import hashlib
 import importlib
 import json
 import multiprocessing
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.parallel.cache import ResultCache, canonical_dumps, cell_key
+from repro.parallel.cache import (
+    ResultCache,
+    UnserialisableValue,
+    canonical_dumps,
+    cell_key,
+)
+from repro.parallel.errors import UnserialisableRecord
+from repro.parallel.journal import SweepJournal
+from repro.parallel.supervisor import (
+    CellFailure,
+    PoolSupervisor,
+    SupervisionPolicy,
+    run_serial_supervised,
+)
 
 
 @dataclass(frozen=True)
@@ -54,11 +75,51 @@ class SweepCell:
 
 @dataclass
 class SweepStats:
-    """Bookkeeping for one :meth:`SweepRunner.run` call."""
+    """Bookkeeping for one :meth:`SweepRunner.run` call.
+
+    ``executed`` counts cells that actually *completed* execution (not
+    merely started); ``retried`` counts re-attempts after failures;
+    ``quarantined`` counts poison cells abandoned after exhausting
+    their retry budget; ``resumed`` counts cells replayed from the
+    sweep journal; ``degraded`` counts cells that fell back to serial
+    execution because no worker pool could be built.
+    """
 
     cells: int = 0
     cache_hits: int = 0
     executed: int = 0
+    retried: int = 0
+    quarantined: int = 0
+    resumed: int = 0
+    degraded: int = 0
+    #: one :class:`~repro.parallel.supervisor.CellFailure` per poison cell
+    failures: List[CellFailure] = field(default_factory=list)
+
+    def accumulate(self, other: "SweepStats") -> None:
+        """Fold *other* into this (for multi-sweep totals)."""
+        self.cells += other.cells
+        self.cache_hits += other.cache_hits
+        self.executed += other.executed
+        self.retried += other.retried
+        self.quarantined += other.quarantined
+        self.resumed += other.resumed
+        self.degraded += other.degraded
+        self.failures.extend(other.failures)
+
+    def summary_line(self) -> str:
+        """One-line human-readable account of the sweep."""
+        parts = [f"{self.cells} cells", f"{self.executed} executed"]
+        if self.cache_hits:
+            parts.append(f"{self.cache_hits} cache hits")
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed")
+        if self.retried:
+            parts.append(f"{self.retried} retries")
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantined")
+        if self.degraded:
+            parts.append(f"{self.degraded} degraded to serial")
+        return ", ".join(parts)
 
 
 def derive_seed(base_seed: int, *parts: object) -> int:
@@ -92,10 +153,17 @@ def execute_cell(fn: str, params: Mapping[str, Any]) -> str:
 
     Serialising inside the worker keeps the parent's collection loop
     cheap and guarantees the serial and parallel paths emit the same
-    bytes (both go through :func:`canonical_dumps`).
+    bytes (both go through :func:`canonical_dumps`).  A record that
+    cannot be canonicalised losslessly (it would hit the ``repr``
+    fallback and could never be decoded back) raises
+    :class:`~repro.parallel.errors.UnserialisableRecord` instead of
+    being silently cached as garbage.
     """
     record = resolve_cell_fn(fn)(**params)
-    return canonical_dumps(record)
+    try:
+        return canonical_dumps(record, strict=True)
+    except UnserialisableValue as exc:
+        raise UnserialisableRecord(fn, [exc.path]) from exc
 
 
 def _worker(index: int, fn: str, params: Mapping[str, Any]) -> Tuple[int, str]:
@@ -117,6 +185,20 @@ class SweepRunner:
         Optional multiprocessing context (e.g. from
         ``multiprocessing.get_context("spawn")``); defaults to the
         platform default.
+    supervision:
+        Optional :class:`SupervisionPolicy`.  ``None`` keeps PR 2's
+        fail-fast behaviour: the first cell failure propagates.  With
+        a policy, failures are retried and poison cells quarantined
+        (their slot in :meth:`run` is ``None``; see ``strict``).
+    journal:
+        Optional :class:`SweepJournal`.  Completions are durably
+        appended; a journal opened with ``resume=True`` replays
+        journalled cells (verified against the cache) without
+        re-executing them.
+    strict:
+        With supervision, raise
+        :class:`~repro.parallel.errors.PoisonCellError` as soon as any
+        cell exhausts its retry budget instead of quarantining it.
     """
 
     def __init__(
@@ -124,14 +206,27 @@ class SweepRunner:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         mp_context: Optional[Any] = None,
+        supervision: Optional[SupervisionPolicy] = None,
+        journal: Optional[SweepJournal] = None,
+        strict: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if journal is not None and cache is None and journal.resume:
+            raise ValueError(
+                "journal resume requires a ResultCache (the journal stores "
+                "digests; the payload bytes live in the cache)"
+            )
         self.jobs = jobs
         self.cache = cache
         self.mp_context = mp_context
+        self.supervision = supervision
+        self.journal = journal
+        self.strict = strict
         #: stats of the most recent run() call
         self.last_stats = SweepStats()
+        #: stats accumulated over every run() of this runner's lifetime
+        self.total_stats = SweepStats()
 
     # ------------------------------------------------------------------
     # execution
@@ -141,12 +236,14 @@ class SweepRunner:
 
         Records are the cells' return values after a canonical-JSON
         round trip, so a record is the same object tree whether it was
-        computed serially, in a worker, or served from the cache.
+        computed serially, in a worker, served from the cache, or
+        replayed from the journal.  Quarantined poison cells yield
+        ``None`` (consult :attr:`last_stats` for their failure log).
         """
         payloads = self.run_serialized(cells)
-        return [json.loads(p) for p in payloads]
+        return [None if p is None else json.loads(p) for p in payloads]
 
-    def run_serialized(self, cells: Sequence[SweepCell]) -> List[str]:
+    def run_serialized(self, cells: Sequence[SweepCell]) -> List[Optional[str]]:
         """Like :meth:`run` but returns the canonical-JSON payloads."""
         stats = SweepStats(cells=len(cells))
         self.last_stats = stats
@@ -157,35 +254,107 @@ class SweepRunner:
         for i, cell in enumerate(cells):
             if self.cache is not None:
                 keys[i] = cell_key(cell.fn, cell.params)
+                if self._replay(i, cell, keys[i], payloads, stats):
+                    continue
                 hit = self.cache.get(keys[i])
                 if hit is not None:
                     payloads[i] = hit
                     stats.cache_hits += 1
+                    self._journal_entry(keys[i], hit, cell.key)
                     continue
             pending.append(i)
 
+        quarantined: List[int] = []
         if pending:
-            stats.executed = len(pending)
-            if self.jobs == 1 or len(pending) == 1:
-                for i in pending:
-                    payloads[i] = execute_cell(cells[i].fn, cells[i].params)
-                    self._store(keys[i], payloads[i])
+            def complete(index: int, payload: str) -> None:
+                payloads[index] = payload
+                stats.executed += 1
+                self._store(keys[index], payload)
+                if keys[index] is not None:
+                    self._journal_entry(keys[index], payload, cells[index].key)
+
+            if self.supervision is None:
+                if self.jobs == 1 or len(pending) == 1:
+                    for i in pending:
+                        complete(i, execute_cell(cells[i].fn, cells[i].params))
+                else:
+                    self._run_pool_fail_fast(cells, pending, complete)
+            elif self.jobs == 1:
+                quarantined = run_serial_supervised(
+                    cells, pending, self.supervision, execute_cell,
+                    complete, stats=stats, strict=self.strict,
+                )
             else:
-                self._run_pool(cells, pending, payloads, keys)
+                supervisor = PoolSupervisor(
+                    cells, self.supervision, _worker, complete, stats,
+                    jobs=self.jobs, mp_context=self.mp_context,
+                    strict=self.strict,
+                )
+                quarantined = supervisor.run(pending)
 
-        assert all(p is not None for p in payloads)
-        return payloads  # type: ignore[return-value]
+        missing = [
+            i for i, p in enumerate(payloads)
+            if p is None and i not in quarantined
+        ]
+        assert not missing, f"lost cells (no payload, not quarantined): {missing}"
+        self.total_stats.accumulate(stats)
+        return payloads
 
-    def _run_pool(
+    # ------------------------------------------------------------------
+    # journal replay
+    # ------------------------------------------------------------------
+    def _replay(
+        self,
+        index: int,
+        cell: SweepCell,
+        key: str,
+        payloads: List[Optional[str]],
+        stats: SweepStats,
+    ) -> bool:
+        """Serve cell *index* from the journal + cache, if possible."""
+        if self.journal is None or not self.journal.resume:
+            return False
+        entry = self.journal.get(key)
+        if entry is None:
+            return False
+        assert self.cache is not None  # enforced in __init__
+        payload = self.cache.get(key)
+        if payload is None or not entry.matches(payload):
+            # The journal promises bytes the cache no longer holds
+            # (rotted or pruned since the journal was written): the
+            # promise is void, recompute the cell.
+            return False
+        payloads[index] = payload
+        stats.resumed += 1
+        return True
+
+    def _journal_entry(self, key: str, payload: str, label: str) -> None:
+        if self.journal is not None and self.journal.get(key) is None:
+            self.journal.append(key, payload, label=label)
+
+    # ------------------------------------------------------------------
+    # unsupervised pool (PR 2 semantics: first failure aborts)
+    # ------------------------------------------------------------------
+    def _run_pool_fail_fast(
         self,
         cells: Sequence[SweepCell],
         pending: Sequence[int],
-        payloads: List[Optional[str]],
-        keys: Sequence[Optional[str]],
+        complete: Callable[[int, str], None],
     ) -> None:
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
         ctx = self.mp_context or multiprocessing.get_context()
         workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        except (OSError, ValueError, ImportError, RuntimeError):
+            # mp context unusable (no /dev/shm, sandboxed semaphores,
+            # ...): degrade to the serial path rather than failing.
+            self.last_stats.degraded += len(pending)
+            for i in pending:
+                complete(i, execute_cell(cells[i].fn, cells[i].params))
+            return
+        with pool:
             futures = {
                 pool.submit(_worker, i, cells[i].fn, dict(cells[i].params))
                 for i in pending
@@ -194,8 +363,7 @@ class SweepRunner:
                 done, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
                     index, payload = future.result()
-                    payloads[index] = payload
-                    self._store(keys[index], payload)
+                    complete(index, payload)
 
     def _store(self, key: Optional[str], payload: Optional[str]) -> None:
         if self.cache is not None and key is not None and payload is not None:

@@ -24,11 +24,18 @@ Checked invariants
   burst overlaps an offline window of its CPU; concurrent bursts never
   exceed the *healthy* capacity of the moment; every requeued job
   reaches a terminal state (DONE or FAILED).
+
+Alongside the per-run invariants, :func:`validate_sweep` audits the
+**harness** after a sweep: no cell may be lost (every slot is either a
+payload or an accounted quarantine), the stats must balance
+(``cache_hits + resumed + executed + quarantined == cells``), every
+completed cell must be journalled when a journal is in use, and every
+journal digest must match the payload bytes it promises.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import RunOutput
 from repro.qs.job import JobState
@@ -55,6 +62,74 @@ def assert_valid(out: RunOutput) -> None:
     if problems:
         raise AssertionError(
             f"{len(problems)} invariant violation(s):\n" + "\n".join(problems)
+        )
+
+
+def validate_sweep(
+    runner,
+    cells: Sequence,
+    payloads: Sequence[Optional[str]],
+) -> List[str]:
+    """Audit one completed sweep of the experiment harness.
+
+    *runner* is the :class:`~repro.parallel.SweepRunner` that executed
+    *cells* (its ``last_stats``, cache and journal are inspected);
+    *payloads* is what :meth:`run_serialized` returned.  Returns
+    human-readable violations (empty = clean).
+    """
+    from repro.parallel import cell_key, payload_digest
+
+    problems: List[str] = []
+    stats = runner.last_stats
+
+    # 1. No lost cells: every slot holds a payload or an accounted
+    #    quarantine.
+    quarantined_keys = {f.key for f in stats.failures}
+    for cell, payload in zip(cells, payloads):
+        if payload is None and cell.key not in quarantined_keys:
+            problems.append(f"cell {cell.key!r}: lost (no payload, not quarantined)")
+        if payload is not None and cell.key in quarantined_keys:
+            problems.append(f"cell {cell.key!r}: both quarantined and completed")
+    if len(payloads) != len(cells):
+        problems.append(
+            f"payload count {len(payloads)} != cell count {len(cells)}"
+        )
+
+    # 2. The books must balance.
+    accounted = stats.cache_hits + stats.resumed + stats.executed + stats.quarantined
+    if accounted != stats.cells:
+        problems.append(
+            f"stats unbalanced: hits {stats.cache_hits} + resumed "
+            f"{stats.resumed} + executed {stats.executed} + quarantined "
+            f"{stats.quarantined} != cells {stats.cells}"
+        )
+
+    # 3. Journal: every completed cell journalled, every digest honest.
+    journal = getattr(runner, "journal", None)
+    if journal is not None and runner.cache is not None:
+        for cell, payload in zip(cells, payloads):
+            if payload is None:
+                continue
+            key = cell_key(cell.fn, cell.params)
+            entry = journal.get(key)
+            if entry is None:
+                problems.append(f"cell {cell.key!r}: completed but not journalled")
+            elif not entry.matches(payload):
+                problems.append(
+                    f"cell {cell.key!r}: journal digest {entry.digest[:12]}… "
+                    f"does not match payload digest "
+                    f"{payload_digest(payload)[:12]}…"
+                )
+    return problems
+
+
+def assert_sweep_valid(runner, cells, payloads) -> None:
+    """Raise ``AssertionError`` listing all sweep violations, if any."""
+    problems = validate_sweep(runner, cells, payloads)
+    if problems:
+        raise AssertionError(
+            f"{len(problems)} sweep invariant violation(s):\n"
+            + "\n".join(problems)
         )
 
 

@@ -1,0 +1,73 @@
+"""Hostile sweep cells for the chaos test harness.
+
+These module-level functions are addressed by dotted path
+(``"tests.chaos_cells:sigkill_cell"``) exactly like real cells, so the
+supervisor sees them through the same machinery it supervises in
+production.  Each one reproduces a distinct harness failure mode:
+
+* :func:`crash_cell` — the cell raises (worker survives);
+* :func:`sigkill_cell` — the cell SIGKILLs its own worker process,
+  breaking the pool (``BrokenProcessPool`` on every in-flight future);
+* :func:`sleep_cell` — the cell hangs long enough to blow any
+  reasonable per-cell timeout;
+* :func:`flaky_cell` — fails the first ``fail_times`` attempts and
+  then succeeds, using an on-disk attempt counter shared across worker
+  processes (retries must cross process boundaries to count);
+* :func:`slow_echo_cell` — a well-behaved but slow cell, for
+  interrupt-and-resume tests;
+* :func:`unserialisable_cell` — returns a record only ``repr`` could
+  encode, to prove ``execute_cell`` refuses to cache garbage.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Any, Dict
+
+
+def crash_cell(i: int = 0, message: str = "chaos: deliberate crash") -> Dict[str, Any]:
+    """Raise inside the worker; the worker process itself survives."""
+    raise RuntimeError(f"{message} (cell {i})")
+
+
+def sigkill_cell(i: int = 0) -> Dict[str, Any]:
+    """Kill the worker process outright — no exception, no cleanup."""
+    os.kill(os.getpid(), signal.SIGKILL)
+    time.sleep(60)  # never reached; belt-and-braces if SIGKILL is delayed
+    return {"i": i}
+
+
+def sleep_cell(i: int = 0, seconds: float = 60.0) -> Dict[str, Any]:
+    """Hang well past any per-cell timeout under test."""
+    time.sleep(seconds)
+    return {"i": i, "slept": seconds}
+
+
+def flaky_cell(i: int, counter_dir: str, fail_times: int = 1) -> Dict[str, Any]:
+    """Fail the first *fail_times* attempts, then succeed.
+
+    Attempts are counted in ``counter_dir`` (one marker file per
+    attempt), so the count survives worker death and is shared between
+    the serial and pool paths.  The returned record is independent of
+    how many attempts it took — retries must not leak into payloads.
+    """
+    os.makedirs(counter_dir, exist_ok=True)
+    attempt = len(os.listdir(counter_dir)) + 1
+    with open(os.path.join(counter_dir, f"attempt-{attempt}-{os.getpid()}"), "w"):
+        pass
+    if attempt <= fail_times:
+        raise RuntimeError(f"chaos: flaky failure {attempt}/{fail_times}")
+    return {"i": i, "ok": True}
+
+
+def slow_echo_cell(i: int, delay: float = 0.2) -> Dict[str, Any]:
+    """Echo *i* after *delay* seconds (for interrupt/resume tests)."""
+    time.sleep(delay)
+    return {"i": i, "value": i * i}
+
+
+def unserialisable_cell() -> Dict[str, Any]:
+    """Return a record that falls into the repr() canonicalisation trap."""
+    return {"handle": object()}
