@@ -29,8 +29,10 @@ Public surface
 * :mod:`repro.metrics` — Paraver-style analyses and result tables.
 * :mod:`repro.experiments` — one harness per table/figure.
 * :mod:`repro.faults` — fault injection and graceful degradation.
+* :mod:`repro.analysis` — the determinism sanitizer (lint + races).
 """
 
+from repro.analysis import RaceDetector, lint_paths
 from repro.apps import APP_CATALOG, APSI, BT, HYDRO2D, SWIM, get_app
 from repro.core import PDPA, AppState, PDPAParams
 from repro.experiments import ExperimentConfig, RunOutput, run_jobs, run_workload
@@ -65,5 +67,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "build_scenario",
+    "RaceDetector",
+    "lint_paths",
     "__version__",
 ]

@@ -1,0 +1,92 @@
+"""Findings: what the determinism sanitizer reports.
+
+Both layers of the sanitizer — the static AST linter and the runtime
+event-race detector — reduce their observations to flat, sortable
+records so that output is stable across runs, machines and Python
+versions.  A :class:`Finding` is one static-lint diagnostic; the
+runtime analogue lives in :mod:`repro.analysis.race`.
+
+Ordering is part of the contract: findings sort by ``(path, line,
+rule, column)`` so that ``repro lint --format json`` diffs cleanly in
+CI no matter what order files were walked or rules were run in.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Sequence, Tuple
+
+#: Severity levels, in increasing order of gravity.
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis diagnostic.
+
+    Attributes
+    ----------
+    path:
+        File the finding is in, as given to the linter (posix form).
+    line, column:
+        1-based line and 0-based column of the offending node.
+    rule:
+        Rule ID, e.g. ``DET103``.
+    severity:
+        One of :data:`SEVERITIES`.
+    message:
+        What is wrong, concretely (mentions the offending call/name).
+    hint:
+        How to fix it (the rule's fix hint).
+    """
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    severity: str
+    message: str
+    hint: str
+
+    def sort_key(self) -> Tuple[str, int, str, int]:
+        """The canonical output order: (path, line, rule, column)."""
+        return (self.path, self.line, self.rule, self.column)
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Findings in canonical (path, line, rule, column) order."""
+    return sorted(findings, key=Finding.sort_key)
+
+
+def render_text(findings: Sequence[Finding], verbose: bool = True) -> str:
+    """Human-readable report, one finding per line plus a summary."""
+    ordered = sort_findings(findings)
+    lines = [f.render() for f in ordered]
+    if verbose:
+        for i, finding in enumerate(ordered):
+            lines[i] += f"\n    hint: {finding.hint}"
+    errors = sum(1 for f in ordered if f.severity == "error")
+    warnings = sum(1 for f in ordered if f.severity == "warning")
+    lines.append(
+        f"{len(ordered)} finding(s): {errors} error(s), {warnings} warning(s)"
+        if ordered else "clean: no determinism hazards found"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report: a JSON array in canonical order.
+
+    The array is sorted by (path, line, rule, column) and keys are
+    sorted inside each object, so CI diffs of the output are stable.
+    """
+    payload = [asdict(f) for f in sort_findings(findings)]
+    return json.dumps(payload, sort_keys=True, indent=2)

@@ -1,0 +1,139 @@
+"""Shared machinery for determinism lint rules.
+
+A rule is a small object with an ID, a severity, a fix hint and a
+``check`` method that yields ``(node, message)`` pairs for one parsed
+source file.  Rules never mutate the tree and never read anything but
+the :class:`SourceFile` they are given, so the linter can run them in
+any order with identical results.
+
+The helpers here do the unglamorous work every rule needs: resolving
+dotted call chains through import aliases (``import numpy as np``
+makes ``np.random.random`` resolve to ``numpy.random.random``) and
+mapping nodes to their parents (to recognise e.g. a ``glob`` call
+that is already wrapped in ``sorted(...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.analysis.config import AnalysisConfig
+
+
+def attr_chain(node: ast.AST) -> Tuple[str, ...]:
+    """The dotted-name chain of a Name/Attribute expression.
+
+    ``datetime.datetime.now`` yields ``("datetime", "datetime",
+    "now")``; anything rooted in a non-name expression (a call, a
+    subscript) yields the resolvable tail only.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+def build_import_map(tree: ast.Module) -> Dict[str, Tuple[str, ...]]:
+    """Map local aliases to the dotted origins they import.
+
+    ``import time as t`` maps ``t`` to ``("time",)``; ``from random
+    import random as r`` maps ``r`` to ``("random", "random")``.
+    """
+    imports: Dict[str, Tuple[str, ...]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                origin = tuple(alias.name.split("."))
+                local = alias.asname or origin[0]
+                imports[local] = origin if alias.asname else origin[:1]
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            base = tuple(node.module.split("."))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = base + (alias.name,)
+    return imports
+
+
+@dataclass
+class SourceFile:
+    """One parsed file plus everything rules need to judge it."""
+
+    path: Path
+    posix: str
+    text: str
+    tree: ast.Module
+    config: AnalysisConfig
+    is_sim: bool
+    imports: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    _parents: Optional[Dict[int, ast.AST]] = None
+
+    @classmethod
+    def parse(cls, path: Path, text: str, config: AnalysisConfig) -> "SourceFile":
+        """Parse *text* and precompute the import-alias map."""
+        tree = ast.parse(text, filename=str(path))
+        posix = path.as_posix()
+        src = cls(
+            path=path,
+            posix=posix,
+            text=text,
+            tree=tree,
+            config=config,
+            is_sim=config.is_sim_path(posix),
+        )
+        src.imports = build_import_map(tree)
+        return src
+
+    def resolve(self, func: ast.AST) -> Tuple[str, ...]:
+        """Dotted origin of a callable expression, through imports."""
+        chain = attr_chain(func)
+        if chain and chain[0] in self.imports:
+            return self.imports[chain[0]] + chain[1:]
+        return chain
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of *node* (None for the module)."""
+        if self._parents is None:
+            parents: Dict[int, ast.AST] = {}
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    # Keyed by object identity: AST nodes are unique
+                    # per position, unlike their (line, col) pairs.
+                    parents[id(child)] = outer
+            self._parents = parents
+        return self._parents.get(id(node))
+
+
+class Rule:
+    """Base class: one determinism hazard pattern.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``sim_only`` rules run only on files under the configured
+    ``sim-paths``; ``clock_rule`` rules honour ``wallclock-allow``.
+    """
+
+    id: str = "DET000"
+    title: str = ""
+    severity: str = "error"
+    hint: str = ""
+    sim_only: bool = False
+    clock_rule: bool = False
+
+    def check(self, src: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+        """Yield ``(node, message)`` for every violation in *src*."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes the signature a generator
+
+    def applies_to(self, src: SourceFile) -> bool:
+        """Whether this rule runs on *src* at all."""
+        if self.sim_only and not src.is_sim:
+            return False
+        if self.clock_rule and src.config.is_wallclock_allowed(src.posix):
+            return False
+        return True

@@ -1,0 +1,114 @@
+"""DET106/DET107 — comparisons that silently break determinism.
+
+Simulated timestamps are floats accumulated through different
+arithmetic paths; exact ``==`` between two of them works until a
+refactor reorders the additions.  Sort keys built on ``id()`` or
+``hash()`` are worse: they change on every process launch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.rules.base import Rule, SourceFile
+
+#: Identifier fragments that mark a value as simulated time.
+_TIME_FRAGMENT = "time"
+_TIME_EXACT = {"now", "_now", "t0", "t1", "deadline", "horizon"}
+
+
+def _is_timeish(node: ast.AST) -> bool:
+    """Whether an expression names a simulated-time value."""
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is None:
+        return False
+    lowered = name.lower()
+    return _TIME_FRAGMENT in lowered or lowered in _TIME_EXACT
+
+
+def _is_zero_literal(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value in (0, 0.0)
+
+
+class FloatTimeEqualityRule(Rule):
+    """DET106: exact equality on simulated-time values."""
+
+    id = "DET106"
+    title = "float equality on simulated time"
+    severity = "warning"
+    sim_only = True
+    hint = (
+        "simulated timestamps accumulate float error along "
+        "path-dependent routes; compare with an epsilon "
+        "(abs(a - b) <= EPS) or order events explicitly via the "
+        "engine's (time, priority, seq) key"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                # == 0 is sentinel convention ("not started yet"),
+                # not arithmetic comparison between two timestamps.
+                if _is_zero_literal(left) or _is_zero_literal(right):
+                    continue
+                if _is_timeish(left) or _is_timeish(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield node, (
+                        f"exact {symbol} between simulated-time values"
+                    )
+                    break
+
+
+class UnstableSortKeyRule(Rule):
+    """DET107: ``id()`` / ``hash()`` inside a sort key."""
+
+    id = "DET107"
+    title = "unstable sort key"
+    severity = "error"
+    hint = (
+        "id() changes every allocation and str hashes change every "
+        "process; sort on stable domain identity (job_id, name, "
+        "sequence number) instead"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(src.tree):
+            key = _sort_key_arg(node, src)
+            if key is None:
+                continue
+            if isinstance(key, ast.Name) and key.id in ("id", "hash"):
+                yield key, f"sort key is the builtin {key.id}()"
+                continue
+            for inner in ast.walk(key):
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Name)
+                    and inner.func.id in ("id", "hash")
+                ):
+                    yield inner, f"sort key calls {inner.func.id}()"
+                    break
+
+
+def _sort_key_arg(node: ast.AST, src: SourceFile) -> "ast.AST | None":
+    """The ``key=`` argument of a sorted/min/max/.sort call, if any."""
+    if not isinstance(node, ast.Call):
+        return None
+    is_sorter = (
+        isinstance(node.func, ast.Name) and node.func.id in ("sorted", "min", "max")
+    ) or (isinstance(node.func, ast.Attribute) and node.func.attr == "sort")
+    if not is_sorter:
+        return None
+    for keyword in node.keywords:
+        if keyword.arg == "key":
+            return keyword.value
+    return None

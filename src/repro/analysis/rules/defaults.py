@@ -1,0 +1,81 @@
+"""DET108/DET110 — state smuggled past the (config, seed) contract.
+
+A mutable default argument is evaluated once at import and shared by
+every call: state from one run leaks into the next, so two "identical"
+experiments diverge.  Environment reads make a run depend on the shell
+that launched it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.rules.base import Rule, SourceFile
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+class MutableDefaultRule(Rule):
+    """DET108: mutable default argument."""
+
+    id = "DET108"
+    title = "mutable default argument"
+    severity = "error"
+    hint = (
+        "a mutable default is shared across calls and across runs in "
+        "the same process — default to None and build the container "
+        "inside the function (or use dataclasses.field(default_factory))"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    yield default, (
+                        f"function {node.name!r} has a mutable default "
+                        "argument shared across calls"
+                    )
+
+
+class EnvironmentReadRule(Rule):
+    """DET110: environment/argv read inside the simulation layer."""
+
+    id = "DET110"
+    title = "environment read in simulation code"
+    severity = "warning"
+    sim_only = True
+    hint = (
+        "simulation behaviour must be a function of (config, seed), "
+        "not of the launching shell; read the environment at the CLI "
+        "boundary and pass the value through ExperimentConfig"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Call):
+                origin = src.resolve(node.func)
+                if origin == ("os", "getenv"):
+                    yield node, "os.getenv() read in simulation code"
+                continue
+            if isinstance(node, ast.Attribute):
+                origin = src.resolve(node)
+                if origin == ("os", "environ"):
+                    yield node, "os.environ read in simulation code"
+                elif origin == ("sys", "argv"):
+                    yield node, "sys.argv read in simulation code"

@@ -1,0 +1,181 @@
+"""DET105/DET109 — iteration whose order the language doesn't fix.
+
+Set iteration order depends on element hashes, and string hashes are
+randomised per process (``PYTHONHASHSEED``): the same sweep cell
+executed in two workers can visit a set in two different orders.  If
+that order feeds simulation state or serialized output, byte identity
+is gone.  (Dict iteration is insertion-ordered since Python 3.7 and is
+deliberately *not* flagged — unless the keys came from a set, the
+order is deterministic.)
+
+Filesystem enumeration has the same shape: ``os.listdir``/``glob``
+return entries in directory order, which differs across filesystems
+and machines.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from repro.analysis.rules.base import Rule, SourceFile
+
+#: Methods that return sets when called on a set.
+_SET_METHODS = {"intersection", "union", "difference", "symmetric_difference"}
+
+#: Builtins whose result is order-insensitive, so feeding them a set
+#: is harmless.
+_ORDER_FREE_CONSUMERS = {"sorted", "len", "sum", "min", "max", "any", "all", "set", "frozenset"}
+
+#: Filesystem enumerations returning entries in directory order.
+_FS_ORIGINS = {
+    ("os", "listdir"),
+    ("os", "scandir"),
+    ("os", "walk"),
+    ("glob", "glob"),
+    ("glob", "iglob"),
+}
+_FS_METHODS = {"iterdir", "glob", "rglob"}
+
+
+def _tainted_names(tree: ast.Module) -> Set[str]:
+    """Names assigned from a set-valued expression anywhere in the file."""
+    tainted: Set[str] = set()
+    for node in ast.walk(tree):
+        value = None
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        if (
+            isinstance(target, ast.Name)
+            and value is not None
+            and _is_set_expr(value, tainted)
+        ):
+            tainted.add(target.id)
+    return tainted
+
+
+def _is_set_expr(node: ast.AST, tainted: Set[str]) -> bool:
+    """Whether *node* is syntactically a set-valued expression."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in tainted
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_METHODS
+            and _is_set_expr(node.func.value, tainted)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, tainted) or _is_set_expr(node.right, tainted)
+    return False
+
+
+class SetIterationRule(Rule):
+    """DET105: iteration over a set in simulation/serialization code."""
+
+    id = "DET105"
+    title = "set-order iteration"
+    severity = "error"
+    hint = (
+        "set order depends on per-process string hashing "
+        "(PYTHONHASHSEED) — wrap the set in sorted(...) with a stable "
+        "key before its order can reach simulation state or "
+        "serialized output"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+        tainted = _tainted_names(src.tree)
+        for node in ast.walk(src.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+                # A set built *from* a set is order-free (SetComp is
+                # skipped), and a comprehension consumed whole by an
+                # order-insensitive reduction (min/sum/any/...) cannot
+                # leak its iteration order.
+                if not self._feeds_order_free_consumer(node, src):
+                    iters.extend(gen.iter for gen in node.generators)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple", "enumerate")
+                and node.args
+            ):
+                iters.append(node.args[0])
+            for it in iters:
+                if _is_set_expr(it, tainted):
+                    yield it, (
+                        "iteration over a set — order varies with "
+                        "PYTHONHASHSEED across processes"
+                    )
+
+    @staticmethod
+    def _feeds_order_free_consumer(node: ast.AST, src: SourceFile) -> bool:
+        parent = src.parent(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in _ORDER_FREE_CONSUMERS
+            and node in parent.args
+        )
+
+
+class FilesystemOrderRule(Rule):
+    """DET109: directory-order filesystem enumeration."""
+
+    id = "DET109"
+    title = "unsorted filesystem enumeration"
+    severity = "warning"
+    hint = (
+        "directory order differs between filesystems and machines; "
+        "wrap the enumeration in sorted(...) before it can influence "
+        "output or processing order"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = src.resolve(node.func)
+            is_fs = origin in _FS_ORIGINS or (
+                isinstance(node.func, ast.Attribute) and node.func.attr in _FS_METHODS
+            )
+            if not is_fs or self._order_insensitive_context(node, src):
+                continue
+            name = ".".join(origin) if origin else node.func.attr  # type: ignore[union-attr]
+            yield node, f"{name}() yields entries in directory order"
+
+    @staticmethod
+    def _order_insensitive_context(node: ast.AST, src: SourceFile) -> bool:
+        """Directly sorted, or iterated only inside an order-free reduction."""
+        parent = src.parent(node)
+        if (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in _ORDER_FREE_CONSUMERS
+        ):
+            return True
+        # `sum(1 for p in root.glob(...))` — the enumeration is the
+        # source of a comprehension whose whole value feeds an
+        # order-insensitive reduction.
+        if isinstance(parent, ast.comprehension):
+            comp = src.parent(parent)
+            consumer = src.parent(comp) if comp is not None else None
+            return (
+                isinstance(comp, (ast.GeneratorExp, ast.ListComp, ast.SetComp))
+                and isinstance(consumer, ast.Call)
+                and isinstance(consumer.func, ast.Name)
+                and consumer.func.id in _ORDER_FREE_CONSUMERS
+            )
+        return False

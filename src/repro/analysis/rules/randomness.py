@@ -1,0 +1,88 @@
+"""DET103/DET104 — randomness that bypasses the seeded streams.
+
+All stochastic behaviour must flow through
+:class:`repro.sim.rng.RandomStreams` named substreams (or an
+explicitly seeded ``random.Random(seed)`` those streams are built
+from).  The module-level ``random.*`` functions share one global,
+implicitly seeded generator; ``os.urandom``/``uuid4``/``secrets``
+are entropy sources that can never be replayed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.rules.base import Rule, SourceFile
+
+#: Module-level random functions drawing from the shared global RNG.
+GLOBAL_RANDOM_FNS = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "shuffle", "triangular", "uniform",
+    "vonmisesvariate", "weibullvariate",
+}
+
+#: Pure entropy sources: not reproducible under any seed.
+ENTROPY_ORIGINS = {
+    ("os", "urandom"),
+    ("os", "getrandom"),
+    ("uuid", "uuid1"),
+    ("uuid", "uuid4"),
+}
+
+
+class UnseededRandomRule(Rule):
+    """DET103: RNG use that bypasses ``repro.sim.rng``."""
+
+    id = "DET103"
+    title = "unseeded / global RNG"
+    severity = "error"
+    hint = (
+        "draw from a RandomStreams named substream "
+        "(repro.sim.rng.RandomStreams(seed).stream(name)); if a raw "
+        "generator is unavoidable, construct random.Random(seed) with "
+        "an explicit seed derived via derive_seed()"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = src.resolve(node.func)
+            if len(origin) >= 2 and origin[0] == "random" and origin[-1] in GLOBAL_RANDOM_FNS:
+                yield node, (
+                    f"random.{origin[-1]}() draws from the shared global "
+                    "generator (implicitly seeded from the OS)"
+                )
+            elif origin == ("random", "Random") and not node.args:
+                yield node, "random.Random() without an explicit seed"
+            elif origin[:2] == ("numpy", "random"):
+                yield node, (
+                    "numpy.random is process-global state; results depend "
+                    "on import and call order across the whole process"
+                )
+
+
+class EntropySourceRule(Rule):
+    """DET104: irreproducible entropy source."""
+
+    id = "DET104"
+    title = "entropy source"
+    severity = "error"
+    hint = (
+        "entropy sources cannot be replayed from a seed; derive "
+        "identifiers and seeds deterministically "
+        "(repro.sim.rng.derive_seed / hashlib over stable inputs)"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = src.resolve(node.func)
+            if origin in ENTROPY_ORIGINS:
+                yield node, f"{'.'.join(origin)}() is a pure entropy source"
+            elif origin[:1] == ("secrets",):
+                yield node, "the secrets module is a pure entropy source"

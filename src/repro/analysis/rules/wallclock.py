@@ -1,0 +1,90 @@
+"""DET101/DET102 — wall-clock and monotonic-clock reads.
+
+A simulation whose output is a pure function of (config, seed) cannot
+read the host's clocks: a ``time.time()`` that leaks into simulated
+state or serialized output makes every run unique.  The one sanctioned
+site is the injected report clock (``repro/experiments/clock.py``),
+listed in ``wallclock-allow``; harness-level timeout bookkeeping may
+suppress DET102 inline with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.rules.base import Rule, SourceFile
+
+#: Dotted origins that return the time of day (or derive from it).
+WALLCLOCK_ORIGINS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "localtime"),
+    ("time", "gmtime"),
+    ("time", "ctime"),
+    ("datetime", "datetime", "now"),
+    ("datetime", "datetime", "utcnow"),
+    ("datetime", "datetime", "today"),
+    ("datetime", "date", "today"),
+}
+
+#: Monotonic/CPU clocks plus real-time waits: not time-of-day, but
+#: still different on every run.
+MONOTONIC_ORIGINS = {
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("time", "process_time_ns"),
+    ("time", "thread_time"),
+    ("time", "thread_time_ns"),
+    ("time", "sleep"),
+}
+
+
+def _clock_calls(src: SourceFile, origins: set) -> Iterator[Tuple[ast.AST, str]]:
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        origin = src.resolve(node.func)
+        if origin in origins or origin[-3:] in origins:
+            yield node, f"call to {'.'.join(origin)}()"
+
+
+class WallClockRule(Rule):
+    """DET101: time-of-day read outside the sanctioned clock module."""
+
+    id = "DET101"
+    title = "wall-clock read"
+    severity = "error"
+    clock_rule = True
+    hint = (
+        "simulation code must be a pure function of (config, seed); "
+        "route elapsed-time reporting through the injected "
+        "repro.experiments.clock.ReportClock (the only allowlisted "
+        "wall-clock site) or derive times from Simulator.now"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+        for node, what in _clock_calls(src, WALLCLOCK_ORIGINS):
+            yield node, f"{what} reads the time of day"
+
+
+class MonotonicClockRule(Rule):
+    """DET102: monotonic/CPU clock read (or real-time sleep)."""
+
+    id = "DET102"
+    title = "monotonic-clock read"
+    severity = "warning"
+    clock_rule = True
+    hint = (
+        "monotonic clocks vary run to run; use Simulator.now for "
+        "simulated time, ReportClock for elapsed-time reporting, or "
+        "suppress with a justification where host wall-time is the "
+        "point (e.g. harness worker timeouts)"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+        for node, what in _clock_calls(src, MONOTONIC_ORIGINS):
+            yield node, f"{what} reads a host clock"

@@ -30,7 +30,7 @@ how well those processors are used.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.apps.speedup import SpeedupCurve
 

@@ -10,6 +10,12 @@ Subcommands map one-to-one onto the experiment harnesses:
 * ``mpl``       — Fig. 8 dynamic multiprogramming level plot.
 * ``tables``    — Tables 1, 3 and 4.
 * ``swf``       — generate a workload and print it in SWF format.
+* ``lint``      — static determinism sanitizer over Python sources.
+
+The global ``--sanitize`` flag attaches the runtime half of the
+determinism sanitizer (the event-race detector) to every in-process
+simulation; its report goes to stderr so command output stays
+byte-identical, and ambiguous cohorts make the exit code non-zero.
 """
 
 from __future__ import annotations
@@ -75,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
              "--cache-dir and execute only the unfinished ones "
              "(requires --cache-dir)",
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="attach the determinism sanitizer's event-race detector to "
+             "every in-process simulation; the report goes to stderr and "
+             "ambiguous same-timestamp cohorts fail the command "
+             "(sweep cells in worker processes are not observed)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("speedups", help="print the Fig. 3 speedup curves")
@@ -123,6 +136,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_swf = sub.add_parser("swf", help="generate a workload trace in SWF format")
     p_swf.add_argument("workload", choices=sorted(TABLE1_MIXES))
     p_swf.add_argument("--load", type=float, default=1.0)
+
+    p_lint = sub.add_parser(
+        "lint", help="static determinism sanitizer (AST lint pass)"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format; json is sorted by (path, line, rule)",
+    )
+    p_lint.add_argument(
+        "--changed", action="store_true",
+        help="lint only Python files changed relative to git HEAD "
+             "(tracked modifications plus untracked files); "
+             "overrides the path arguments",
+    )
     return parser
 
 
@@ -174,12 +205,13 @@ def _runner(args: argparse.Namespace):
     )
 
 
-def cmd_run(args: argparse.Namespace) -> str:
+def cmd_run(args: argparse.Namespace, sanitizer=None) -> str:
     """Execute one workload run and format its summaries."""
     config = _config(args, mpl=args.mpl)
     if getattr(args, "faults", None):
         config = config.with_faults(build_scenario(args.faults, config.n_cpus))
-    out = run_workload(args.policy, args.workload, args.load, config)
+    out = run_workload(args.policy, args.workload, args.load, config,
+                       sanitizer=sanitizer)
     result = out.result
     rows = []
     for app, summary in sorted(result.by_app().items()):
@@ -218,6 +250,46 @@ def cmd_run(args: argparse.Namespace) -> str:
     return table + "\n" + footer
 
 
+def _changed_python_files() -> List[str]:
+    """Python files changed vs. git HEAD (tracked diffs + untracked)."""
+    import subprocess
+
+    files: set = set()
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            output = subprocess.run(
+                cmd, capture_output=True, text=True, check=True
+            ).stdout
+        except (OSError, subprocess.CalledProcessError) as exc:
+            raise SystemExit(f"--changed needs a git checkout: {exc}")
+        files.update(line for line in output.splitlines() if line.endswith(".py"))
+    import os
+
+    return sorted(path for path in files if os.path.exists(path))
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static determinism sanitizer; exit code 1 on findings."""
+    from repro.analysis import lint_paths, render_json, render_text
+
+    if args.changed:
+        paths = _changed_python_files()
+        if not paths:
+            print("clean: no changed Python files")
+            return 0
+    else:
+        paths = args.paths
+    findings = lint_paths(paths)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
 def cmd_compare(args: argparse.Namespace) -> str:
     """Run the Figs. 4/6/9/10-style comparison."""
     comparison = workloads.run_comparison(
@@ -231,20 +303,61 @@ def cmd_compare(args: argparse.Namespace) -> str:
     return workloads.render(comparison, title=f"[{args.workload}]")
 
 
+def _sanitizer(args: argparse.Namespace):
+    """The event-race detector under ``--sanitize``, else ``None``.
+
+    Sweep-shaped commands fan their cells out to worker processes the
+    observer cannot reach; a stderr note says so rather than silently
+    sanitizing nothing.
+    """
+    if not args.sanitize:
+        return None
+    from repro.analysis.race import RaceDetector
+
+    if args.command in ("compare", "mpl", "tables", "speedups", "swf"):
+        print(
+            f"[sanitize] note: `{args.command}` is sweep-shaped or "
+            "simulation-free; its cells run outside this process and are "
+            "not observed",
+            file=sys.stderr,
+        )
+        return None
+    return RaceDetector()
+
+
+def _finish_sanitizer(detector) -> int:
+    """Print the ``--sanitize`` report to stderr; 1 on ambiguity.
+
+    Everything goes to stderr so command stdout stays byte-identical
+    with and without the sanitizer.
+    """
+    if detector is None:
+        return 0
+    stats = detector.finish()
+    print(f"[sanitize] {stats.summary_line()}", file=sys.stderr)
+    for finding in stats.findings:
+        print(f"[sanitize] {finding.severity}: {finding.describe()}",
+              file=sys.stderr)
+    return 1 if stats.error_findings else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        return cmd_lint(args)
+    sanitizer = _sanitizer(args)
     if args.command == "speedups":
         print(fig3.render())
     elif args.command == "run":
-        print(cmd_run(args))
+        print(cmd_run(args, sanitizer=sanitizer))
     elif args.command == "compare":
         print(cmd_compare(args))
     elif args.command == "view":
-        result = fig5_table2.run(config=_config(args))
+        result = fig5_table2.run(config=_config(args), sanitizer=sanitizer)
         print(fig5_table2.render_fig5(result, width=args.width))
     elif args.command == "table2":
-        result = fig5_table2.run(config=_config(args))
+        result = fig5_table2.run(config=_config(args), sanitizer=sanitizer)
         print(fig5_table2.render_table2(result))
     elif args.command == "mpl":
         timeline = fig7_fig8.run_fig8(
@@ -267,6 +380,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             include_ablations=not args.quick,
             progress=args.output is not None,
             runner=_runner(args),
+            sanitizer=sanitizer,
         )
         if args.output:
             with open(args.output, "w", encoding="utf-8") as handle:
@@ -278,7 +392,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments import ablations
 
         rows = ablations.run_coordination_ablation(
-            args.workload, args.load, _config(args)
+            args.workload, args.load, _config(args), sanitizer=sanitizer
         )
         print(ablations.render_rows(
             rows, f"Coordination ablation — {args.workload}, "
@@ -307,7 +421,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         }), end="")
     else:  # pragma: no cover - argparse enforces choices
         raise SystemExit(f"unknown command {args.command!r}")
-    return 0
+    return _finish_sanitizer(sanitizer)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.race import RaceDetector
 from repro.apps.application import AppClass, ApplicationSpec
 from repro.apps.speedup import AmdahlSpeedup
 from repro.core.params import PDPAParams
@@ -35,7 +36,6 @@ from repro.experiments.common import (
     run_workload_cells,
     workload_cell_spec,
 )
-from repro.metrics.paraver import mean_allocation
 from repro.metrics.stats import WorkloadResult, format_table
 from repro.parallel import SweepRunner
 from repro.qs.workload import TABLE1_MIXES, generate_workload
@@ -125,6 +125,7 @@ def run_coordination_ablation(
     workload: str = "w3",
     load: float = 1.0,
     config: Optional[ExperimentConfig] = None,
+    sanitizer: Optional[RaceDetector] = None,
 ) -> List[AblationRow]:
     """PDPA vs PDPA-with-fixed-MPL vs Equipartition.
 
@@ -137,11 +138,16 @@ def run_coordination_ablation(
         _workload_jobs(workload, load, config),
         config,
         load,
+        sanitizer=sanitizer,
     )
     return [
-        _row("PDPA (full)", run_workload("PDPA", workload, load, config).result),
+        _row("PDPA (full)",
+             run_workload("PDPA", workload, load, config,
+                          sanitizer=sanitizer).result),
         _row("PDPA (fixed mpl)", fixed.result),
-        _row("Equip", run_workload("Equip", workload, load, config).result),
+        _row("Equip",
+             run_workload("Equip", workload, load, config,
+                          sanitizer=sanitizer).result),
     ]
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.analysis.race import RaceDetector
 from repro.core.params import PDPAParams
 from repro.core.pdpa import PDPA
 from repro.faults.injector import FaultInjector
@@ -137,8 +138,14 @@ def run_jobs(
     jobs: Sequence[Job],
     config: Optional[ExperimentConfig] = None,
     load: float = 0.0,
+    sanitizer: Optional[RaceDetector] = None,
 ) -> RunOutput:
-    """Execute a job list under one policy and collect all metrics."""
+    """Execute a job list under one policy and collect all metrics.
+
+    *sanitizer* attaches the event-race detector
+    (:class:`~repro.analysis.race.RaceDetector`) to the simulator for
+    this run; it observes event ordering and never perturbs results.
+    """
     config = config or ExperimentConfig()
     if policy_name not in POLICY_NAMES:
         raise ValueError(f"unknown policy {policy_name!r}; expected one of {POLICY_NAMES}")
@@ -161,7 +168,8 @@ def run_jobs(
             locality=config.locality_model(),
         )
 
-    return _execute(policy_name, rm, sim, trace, jobs, config, load)
+    return _execute(policy_name, rm, sim, trace, jobs, config, load,
+                    sanitizer=sanitizer)
 
 
 def run_jobs_with_policy(
@@ -169,6 +177,7 @@ def run_jobs_with_policy(
     jobs: Sequence[Job],
     config: Optional[ExperimentConfig] = None,
     load: float = 0.0,
+    sanitizer: Optional[RaceDetector] = None,
 ) -> RunOutput:
     """Execute a job list under a caller-supplied policy instance.
 
@@ -184,7 +193,8 @@ def run_jobs_with_policy(
         sim, machine, policy, streams, trace, config.runtime_config(),
         locality=config.locality_model(),
     )
-    return _execute(policy.name, rm, sim, trace, jobs, config, load)
+    return _execute(policy.name, rm, sim, trace, jobs, config, load,
+                    sanitizer=sanitizer)
 
 
 def _execute(
@@ -195,8 +205,12 @@ def _execute(
     jobs: Sequence[Job],
     config: ExperimentConfig,
     load: float,
+    sanitizer: Optional[RaceDetector] = None,
 ) -> RunOutput:
     """Drive one workload to completion and collect every metric."""
+    if sanitizer is not None:
+        sanitizer.begin_run(f"{policy_name} seed={config.seed}")
+        sim.attach_observer(sanitizer)
     inject = config.faults is not None and not config.faults.empty
     retry = config.faults.retry_config() if inject else None
     qs = NanosQS(sim, rm, list(jobs), trace, retry=retry)
@@ -206,6 +220,8 @@ def _execute(
         FaultInjector(sim, config.faults, rm, qs, streams, trace).install()
     qs.schedule_submissions()
     sim.run(max_events=config.max_events)
+    if sanitizer is not None:
+        sanitizer.finish()
     if not qs.all_done:
         unfinished = [job.job_id for job in qs.unfinished_jobs()]
         raise RuntimeError(
@@ -241,6 +257,7 @@ def run_workload(
     load: float,
     config: Optional[ExperimentConfig] = None,
     request_overrides: Optional[Mapping[str, int]] = None,
+    sanitizer: Optional[RaceDetector] = None,
 ) -> RunOutput:
     """Generate a Table 1 workload and execute it under one policy."""
     config = config or ExperimentConfig()
@@ -253,7 +270,7 @@ def run_workload(
         streams=RandomStreams(config.seed).spawn("workload"),
         request_overrides=request_overrides,
     )
-    return run_jobs(policy_name, jobs, config, load=load)
+    return run_jobs(policy_name, jobs, config, load=load, sanitizer=sanitizer)
 
 
 def workload_cell_spec(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.analysis.race import RaceDetector
 from repro.experiments.common import ExperimentConfig, RunOutput, run_workload
 from repro.metrics.paraver import BurstStatistics, burst_statistics, execution_view
 from repro.metrics.stats import format_table
@@ -42,11 +43,13 @@ def run(
     policies: Tuple[str, ...] = TABLE2_POLICIES,
     load: float = 1.0,
     config: Optional[ExperimentConfig] = None,
+    sanitizer: Optional[RaceDetector] = None,
 ) -> Fig5Table2Result:
     """Execute workload 1 under each policy with full tracing."""
     config = config or ExperimentConfig()
     outputs = {
-        policy: run_workload(policy, "w1", load, config) for policy in policies
+        policy: run_workload(policy, "w1", load, config, sanitizer=sanitizer)
+        for policy in policies
     }
     return Fig5Table2Result(outputs)
 

@@ -9,10 +9,11 @@ simulated workload executions).
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional, Sequence
 
+from repro.analysis.race import RaceDetector
 from repro.experiments import ablations, fig3, fig5_table2, fig7_fig8, tables, workloads
+from repro.experiments.clock import ReportClock
 from repro.experiments.common import ExperimentConfig
 from repro.metrics.stats import format_table
 from repro.parallel import SweepRunner
@@ -29,6 +30,8 @@ def generate_report(
     include_ablations: bool = True,
     progress: bool = False,
     runner: Optional[SweepRunner] = None,
+    clock: Optional[ReportClock] = None,
+    sanitizer: Optional[RaceDetector] = None,
 ) -> str:
     """Run the full reproduction and return a markdown report.
 
@@ -38,9 +41,16 @@ def generate_report(
     result cache; the report text is identical either way.  Sections
     needing full in-process artefacts (Fig. 5 traces, custom-policy
     ablations) always run serially.
+
+    *clock* is the injected elapsed-time source (the repository's one
+    sanctioned wall-clock site); *sanitizer* attaches the event-race
+    detector to every **in-process** simulation (sweep cells execute
+    in worker processes and are not observed).  The sanitizer only
+    observes: the report text is byte-identical with or without it.
     """
     config = config or ExperimentConfig()
-    started = time.time()
+    clock = clock or ReportClock()
+    clock.restart()
     parts: List[str] = [
         "# PDPA reproduction report",
         "",
@@ -83,7 +93,7 @@ def generate_report(
 
     alloc_blocks = []
     for policy in ("PDPA", "Equal_eff"):
-        out = run_workload(policy, "w4", 0.8, config)
+        out = run_workload(policy, "w4", 0.8, config, sanitizer=sanitizer)
         stats = allocation_stats_by_app(out.trace, out.jobs)
         alloc_blocks.append(render_allocation_table(
             stats, title=f"{policy} on w4 at 80% load"
@@ -95,7 +105,7 @@ def generate_report(
     ))
 
     note("Fig. 5 / Table 2 (traced w1)")
-    traced = fig5_table2.run(config=config)
+    traced = fig5_table2.run(config=config, sanitizer=sanitizer)
     parts.append(_section("Table 2 — migrations and bursts",
                           fig5_table2.render_table2(traced)))
     parts.append(_section("Fig. 5 — execution views",
@@ -119,7 +129,7 @@ def generate_report(
 
     if include_ablations:
         note("ablations")
-        rows = ablations.run_coordination_ablation(config=config)
+        rows = ablations.run_coordination_ablation(config=config, sanitizer=sanitizer)
         parts.append(_section(
             "Ablation — coordination",
             ablations.render_rows(rows, "w3, load 100%"),
@@ -146,7 +156,7 @@ def generate_report(
             ),
         ))
 
-    elapsed = time.time() - started
+    elapsed = clock.elapsed()
     footer = f"---\nGenerated in {elapsed:.1f} s of wall-clock time."
     if runner is not None:
         totals = runner.total_stats

@@ -20,7 +20,7 @@ into analysis scripts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.metrics.trace import Burst, TraceRecorder
 

@@ -13,7 +13,7 @@ over a :class:`~repro.metrics.trace.TraceRecorder`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.metrics.trace import TraceRecorder
 

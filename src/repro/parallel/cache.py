@@ -249,7 +249,7 @@ class ResultCache:
         entries = 0
         total_bytes = 0
         quarantined = 0
-        for path in self.root.glob("*/*"):
+        for path in sorted(self.root.glob("*/*")):
             if path.suffix == ".rec" and not path.name.startswith(".tmp-"):
                 entries += 1
                 try:
@@ -274,7 +274,7 @@ class ResultCache:
         code version moved), so they are dead weight.
         """
         removed = 0
-        for path in list(self.root.glob("*/*")):
+        for path in sorted(self.root.glob("*/*")):
             stale = (
                 path.suffix in (".corrupt", ".json")
                 or path.name.startswith(".tmp-")

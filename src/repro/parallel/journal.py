@@ -156,5 +156,5 @@ class SweepJournal:
     def __enter__(self) -> "SweepJournal":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

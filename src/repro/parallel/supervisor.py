@@ -265,7 +265,7 @@ class PoolSupervisor:
                 raise _PoolBroken({}, list(batch), progressed=False)
 
         while futures:
-            now = time.monotonic()
+            now = time.monotonic()  # repro: allow(DET102): hung-worker detection measures host wall-time by definition; simulated time never reaches the harness layer
             for future, index in futures.items():
                 if index not in started and future.running():
                     started[index] = now
@@ -333,7 +333,7 @@ class PoolSupervisor:
     ) -> None:
         if self.policy.timeout is None or not futures:
             return
-        now = time.monotonic()
+        now = time.monotonic()  # repro: allow(DET102): per-cell timeout accounting is host wall-time; cells are pure functions so this cannot perturb results
         blamed: Dict[int, CellError] = {}
         unfinished: List[int] = []
         for future, index in futures.items():
@@ -387,7 +387,7 @@ class PoolSupervisor:
             self._quarantine(index, count, error)
             return True
         self.stats.retried += 1
-        time.sleep(self.policy.backoff(self._key(index), count))
+        time.sleep(self.policy.backoff(self._key(index), count))  # repro: allow(DET102): retry backoff is a real-time wait between attempts; the re-executed cell's output is unaffected
         return False
 
     def _quarantine(self, index: int, attempts: int, error: CellError) -> None:

@@ -14,7 +14,7 @@ from which the paper's two headline metrics derive:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.apps.application import ApplicationSpec

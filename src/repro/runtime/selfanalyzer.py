@@ -29,7 +29,7 @@ one reason the paper imposes thresholds rather than exact targets).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 

@@ -102,7 +102,7 @@ class Event:
     def __lt__(self, other: "Event") -> bool:
         # Hot path: this comparison runs O(log n) times per push/pop,
         # so avoid building the sort_key() tuples.
-        if self.time != other.time:
+        if self.time != other.time:  # repro: allow(DET106): heap ordering must match heapq's exact comparison; an epsilon here would make __lt__ intransitive and corrupt the heap
             return self.time < other.time
         if self.priority != other.priority:
             return self.priority < other.priority
@@ -262,6 +262,7 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_fired = 0
+        self._observer: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -337,6 +338,24 @@ class Simulator:
         """Stop the run loop after the current event completes."""
         self._stopped = True
 
+    def attach_observer(self, observer: Any) -> None:
+        """Attach an event observer (e.g. the ``--sanitize`` detector).
+
+        The observer's ``on_event(event)`` is called for every event
+        the run loop fires, *before* the event's callback executes.
+        Observers must only observe: they get the live
+        :class:`Event` for inspection but must not mutate it,
+        schedule, or cancel — the engine's byte-identity contract is
+        that a run with an observer equals a run without one.  One
+        observer at a time; ``None``-safe dispatch keeps the
+        unobserved hot path to a single attribute check per event.
+        """
+        self._observer = observer
+
+    def detach_observer(self) -> None:
+        """Remove the attached observer, if any."""
+        self._observer = None
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the queue drains, *until* passes, or stop().
 
@@ -371,6 +390,8 @@ class Simulator:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; likely a runaway schedule"
                     )
+                if self._observer is not None:
+                    self._observer.on_event(event)
                 event.callback(*event.args)
         finally:
             self._running = False

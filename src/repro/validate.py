@@ -31,6 +31,11 @@ payload or an accounted quarantine), the stats must balance
 (``cache_hits + resumed + executed + quarantined == cells``), every
 completed cell must be journalled when a journal is in use, and every
 journal digest must match the payload bytes it promises.
+
+Both entry points accept the ``--sanitize`` event-race detector (or
+its finished :class:`~repro.analysis.race.RaceStats`): ambiguous
+same-timestamp cohorts reported by the determinism sanitizer are
+invariant failures like any other, via :func:`validate_race`.
 """
 
 from __future__ import annotations
@@ -44,8 +49,31 @@ from repro.qs.job import JobState
 _EPS = 1e-6
 
 
-def validate_run(out: RunOutput) -> List[str]:
-    """Audit one run; returns human-readable violations (empty = ok)."""
+def validate_race(race) -> List[str]:
+    """Determinism-sanitizer findings rendered as invariant violations.
+
+    *race* is a :class:`~repro.analysis.race.RaceDetector` or a
+    finished :class:`~repro.analysis.race.RaceStats` (``None`` is
+    accepted and clean).  Only *error*-severity findings — cohorts
+    whose execution order is decided by insertion order alone — are
+    violations; homogeneous ties are benign and stay in the stats.
+    """
+    if race is None:
+        return []
+    stats = race.finish() if hasattr(race, "finish") else race
+    return [
+        f"event race: {finding.describe()}"
+        for finding in stats.error_findings
+    ]
+
+
+def validate_run(out: RunOutput, race=None) -> List[str]:
+    """Audit one run; returns human-readable violations (empty = ok).
+
+    *race* optionally carries the run's ``--sanitize`` detector (or
+    its stats); ambiguous event cohorts it found are appended as
+    violations.
+    """
     problems: List[str] = []
     problems.extend(_check_job_accounting(out))
     problems.extend(_check_burst_sanity(out))
@@ -53,12 +81,13 @@ def validate_run(out: RunOutput) -> List[str]:
     problems.extend(_check_trace_consistency(out))
     problems.extend(_check_reallocation_chains(out))
     problems.extend(_check_fault_invariants(out))
+    problems.extend(validate_race(race))
     return problems
 
 
-def assert_valid(out: RunOutput) -> None:
+def assert_valid(out: RunOutput, race=None) -> None:
     """Raise ``AssertionError`` listing all violations, if any."""
-    problems = validate_run(out)
+    problems = validate_run(out, race=race)
     if problems:
         raise AssertionError(
             f"{len(problems)} invariant violation(s):\n" + "\n".join(problems)
@@ -69,13 +98,18 @@ def validate_sweep(
     runner,
     cells: Sequence,
     payloads: Sequence[Optional[str]],
+    race=None,
 ) -> List[str]:
     """Audit one completed sweep of the experiment harness.
 
     *runner* is the :class:`~repro.parallel.SweepRunner` that executed
     *cells* (its ``last_stats``, cache and journal are inspected);
-    *payloads* is what :meth:`run_serialized` returned.  Returns
-    human-readable violations (empty = clean).
+    *payloads* is what :meth:`run_serialized` returned.  *race*
+    optionally carries sanitizer results for the in-process runs that
+    framed the sweep (sweep cells themselves execute in worker
+    processes and are not observed).  Returns human-readable
+    violations (empty = clean); sanitizer findings come last, as the
+    report footer.
     """
     from repro.parallel import cell_key, payload_digest
 
@@ -120,12 +154,16 @@ def validate_sweep(
                     f"does not match payload digest "
                     f"{payload_digest(payload)[:12]}…"
                 )
+
+    # 4. Report footer: determinism-sanitizer findings, if a detector
+    #    observed the in-process runs around this sweep.
+    problems.extend(validate_race(race))
     return problems
 
 
-def assert_sweep_valid(runner, cells, payloads) -> None:
+def assert_sweep_valid(runner, cells, payloads, race=None) -> None:
     """Raise ``AssertionError`` listing all sweep violations, if any."""
-    problems = validate_sweep(runner, cells, payloads)
+    problems = validate_sweep(runner, cells, payloads, race=race)
     if problems:
         raise AssertionError(
             f"{len(problems)} sweep invariant violation(s):\n"

@@ -1,0 +1,9 @@
+"""Fixture files with seeded determinism hazards for the linter tests.
+
+Each ``det1XX_*.py`` file plants violations for one rule; the line of
+every expected finding carries an ``# EXPECT: DETxxx`` marker that
+``tests/test_analysis.py`` parses and asserts against.  These files
+are never imported or executed — the linter reads source text only —
+and the directory is excluded from ``repro lint`` runs and ruff via
+``pyproject.toml``.
+"""

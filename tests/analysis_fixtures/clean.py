@@ -1,0 +1,10 @@
+"""A hazard-free module: the linter must return no findings here."""
+from typing import Dict, List
+
+
+def simulate(jobs: List[str], allocations: Dict[str, int]) -> List[str]:
+    ordered = sorted(set(jobs))
+    timeline = []
+    for name in ordered:
+        timeline.append(f"{name}:{allocations.get(name, 0)}")
+    return timeline

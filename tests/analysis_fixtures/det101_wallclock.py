@@ -1,0 +1,17 @@
+"""Seeded DET101 violations: wall-clock reads."""
+import datetime
+import time
+from datetime import datetime as dt
+
+
+def stamp():
+    started = time.time()  # EXPECT: DET101
+    precise = time.time_ns()  # EXPECT: DET101
+    return started, precise
+
+
+def today():
+    a = datetime.datetime.now()  # EXPECT: DET101
+    b = dt.utcnow()  # EXPECT: DET101
+    c = datetime.date.today()  # EXPECT: DET101
+    return a, b, c

@@ -1,0 +1,10 @@
+"""Seeded DET102 violations: monotonic clocks and sleeps."""
+import time
+from time import perf_counter
+
+
+def measure():
+    t0 = time.monotonic()  # EXPECT: DET102
+    t1 = perf_counter()  # EXPECT: DET102
+    time.sleep(0.1)  # EXPECT: DET102
+    return t1 - t0

@@ -1,0 +1,18 @@
+"""Seeded DET103 violations: randomness outside repro.sim.rng."""
+import random
+from random import shuffle
+
+
+def draw(items):
+    x = random.random()  # EXPECT: DET103
+    y = random.randint(0, 10)  # EXPECT: DET103
+    shuffle(items)  # EXPECT: DET103
+    rng = random.Random()  # EXPECT: DET103
+    seeded = random.Random(42)  # a seeded instance is fine
+    return x, y, rng, seeded
+
+
+def np_draw():
+    import numpy
+
+    return numpy.random.rand()  # EXPECT: DET103

@@ -1,0 +1,12 @@
+"""Seeded DET104 violations: OS entropy sources."""
+import os
+import secrets
+import uuid
+
+
+def tokens():
+    a = os.urandom(16)  # EXPECT: DET104
+    b = uuid.uuid4()  # EXPECT: DET104
+    c = secrets.token_hex(8)  # EXPECT: DET104
+    stable = uuid.uuid5(uuid.NAMESPACE_DNS, "repro")  # content-addressed: fine
+    return a, b, c, stable

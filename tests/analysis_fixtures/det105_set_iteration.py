@@ -1,0 +1,18 @@
+"""Seeded DET105 violations: set-order iteration."""
+
+
+def leak_order(names):
+    pending = {"swim", "apsi", "bt"}
+    for name in pending:  # EXPECT: DET105
+        names.append(name)
+    listed = list(pending)  # EXPECT: DET105
+    joined = [n for n in pending]  # EXPECT: DET105
+    merged = [n for n in pending | {"hydro2d"}]  # EXPECT: DET105
+    return listed, joined, merged
+
+
+def harmless(pending=frozenset({"a", "b"})):  # noqa: fixture keeps defaults immutable
+    total = sum(len(n) for n in pending)  # order-free reduction: fine
+    ordered = sorted(pending)  # sorted: fine
+    copied = {n for n in pending}  # set-to-set: fine
+    return total, ordered, copied

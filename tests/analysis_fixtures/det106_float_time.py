@@ -1,0 +1,11 @@
+"""Seeded DET106 violations: float equality on simulated time."""
+
+
+def compare(event_time, other_time, deadline, count):
+    if event_time == other_time:  # EXPECT: DET106
+        return True
+    if deadline != other_time:  # EXPECT: DET106
+        return False
+    if event_time == 0:  # comparison against the origin literal: fine
+        return True
+    return count == 3  # not a time value: fine

@@ -1,0 +1,10 @@
+"""Seeded DET107 violations: id()/hash() in sort keys."""
+
+
+def order(jobs):
+    a = sorted(jobs, key=id)  # EXPECT: DET107
+    b = sorted(jobs, key=lambda j: hash(j.name))  # EXPECT: DET107
+    jobs.sort(key=lambda j: id(j))  # EXPECT: DET107
+    c = max(jobs, key=lambda j: (j.load, id(j)))  # EXPECT: DET107
+    d = sorted(jobs, key=lambda j: j.job_id)  # stable domain key: fine
+    return a, b, c, d

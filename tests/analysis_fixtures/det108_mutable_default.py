@@ -1,0 +1,19 @@
+"""Seeded DET108 violations: mutable default arguments."""
+from collections import defaultdict
+
+
+def collect(item, seen=[]):  # EXPECT: DET108
+    seen.append(item)
+    return seen
+
+
+def index(key, table={}):  # EXPECT: DET108
+    return table.setdefault(key, len(table))
+
+
+def group(key, *, buckets=defaultdict(list)):  # EXPECT: DET108
+    return buckets[key]
+
+
+def fine(item, seen=None, limit=10, name=""):
+    return [item] if seen is None else seen + [item]

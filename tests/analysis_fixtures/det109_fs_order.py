@@ -1,0 +1,14 @@
+"""Seeded DET109 violations: unsorted filesystem enumeration."""
+import glob
+import os
+from pathlib import Path
+
+
+def scan(root):
+    names = os.listdir(root)  # EXPECT: DET109
+    hits = glob.glob("*.rec")  # EXPECT: DET109
+    for entry in Path(root).iterdir():  # EXPECT: DET109
+        hits.append(entry)
+    stable = sorted(os.listdir(root))  # sorted: fine
+    count = sum(1 for _ in Path(root).glob("*.py"))  # order-free: fine
+    return names, hits, stable, count

@@ -1,0 +1,10 @@
+"""Seeded DET110 violations: ambient inputs in sim code."""
+import os
+import sys
+
+
+def configure():
+    debug = os.getenv("REPRO_DEBUG")  # EXPECT: DET110
+    home = os.environ["HOME"]  # EXPECT: DET110
+    prog = sys.argv[0]  # EXPECT: DET110
+    return debug, home, prog

@@ -1,0 +1,9 @@
+"""Malformed suppressions: each one is itself a DET100 finding."""
+import time
+
+
+def measure():
+    t0 = time.monotonic()  # repro: allow(DET102)
+    t1 = time.monotonic()  # repro: allow(DET999): no such rule
+    t2 = time.monotonic()  # repro: allow me this one
+    return t0, t1, t2

@@ -1,0 +1,9 @@
+"""Well-formed suppressions: findings silenced, justification present."""
+import time
+
+
+def measure():
+    t0 = time.monotonic()  # repro: allow(DET102): fixture exercises a justified trailing suppression
+    # repro: allow(DET102): fixture exercises a justified standalone suppression
+    t1 = time.perf_counter()
+    return t1 - t0

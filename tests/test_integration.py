@@ -7,7 +7,6 @@ paper's findings, not absolute numbers.
 
 import pytest
 
-from repro.core.params import PDPAParams
 from repro.experiments.common import ExperimentConfig, run_jobs, run_workload
 from repro.metrics.paraver import mean_allocation
 from repro.qs.workload import TABLE1_MIXES, generate_workload

@@ -14,7 +14,6 @@ from repro.core.states import AppState
 from repro.experiments.common import ExperimentConfig, run_jobs
 from repro.machine.machine import Machine
 from repro.qs.job import Job, JobState
-from repro.rm.base import SystemView
 from repro.rm.manager import SpaceSharedResourceManager
 from repro.runtime.nthlib import RuntimeConfig
 from repro.sim.engine import Simulator

@@ -5,7 +5,6 @@ import pytest
 from repro.apps.application import AppClass, ApplicationSpec, IterativeApplication
 from repro.apps.speedup import AmdahlSpeedup, TabulatedSpeedup
 from repro.core.pdpa import PDPA
-from repro.core.states import AppState
 from repro.experiments.common import ExperimentConfig, run_jobs_with_policy
 from repro.qs.job import Job
 
