@@ -1,0 +1,87 @@
+"""Typed failure taxonomy for simulation checkpoints.
+
+The sweep harness classifies *its* faults in
+:mod:`repro.parallel.errors`; this module classifies faults of the
+**snapshot subsystem** — files whose bytes rotted on disk, envelopes
+written by an unknown format revision, and snapshots that would
+silently produce wrong results if restored under different code or a
+different experiment configuration.
+
+Hierarchy::
+
+    CheckpointError
+    ├── CheckpointCorruptError   bad magic / checksum / truncation
+    ├── CheckpointVersionError   envelope format revision unknown
+    └── CheckpointMismatchError  code version or config digest differ
+
+The contract every caller can rely on: restoring a snapshot either
+yields a session whose continued execution is byte-identical to the
+uninterrupted run, or raises one of these — never a silently-wrong
+run.
+"""
+
+from __future__ import annotations
+
+
+class CheckpointError(RuntimeError):
+    """Base class for snapshot save/restore failures."""
+
+    #: short machine-readable failure kind (stable across messages)
+    kind: str = "error"
+
+
+class CheckpointCorruptError(CheckpointError):
+    """The snapshot file is not a readable envelope.
+
+    Raised for truncated files, bad magic, malformed headers and
+    checksum mismatches — anything where the bytes on disk are not the
+    bytes :func:`repro.checkpoint.format.write_snapshot` produced.
+    """
+
+    kind = "corrupt"
+
+    def __init__(self, path: object, detail: str) -> None:
+        super().__init__(f"corrupt checkpoint {path}: {detail}")
+        self.path = str(path)
+        self.detail = detail
+
+
+class CheckpointVersionError(CheckpointError):
+    """The envelope was written by an unknown format revision.
+
+    Newer writers may change the payload layout; refusing to guess is
+    the only safe reaction.
+    """
+
+    kind = "version"
+
+    def __init__(self, path: object, found: object) -> None:
+        super().__init__(
+            f"checkpoint {path}: unsupported format revision {found!r}"
+        )
+        self.path = str(path)
+        self.found = found
+
+
+class CheckpointMismatchError(CheckpointError):
+    """The snapshot does not belong to this code or this experiment.
+
+    ``field`` names what differed (``code_version``, ``config``,
+    ``policy``, ``workload`` ...); ``expected`` is the value the
+    caller's environment requires and ``found`` what the snapshot
+    carries.  Restoring across either boundary could only produce a
+    plausible-looking but wrong run, so it fails fast instead.
+    """
+
+    kind = "mismatch"
+
+    def __init__(self, path: object, field: str, expected: object,
+                 found: object) -> None:
+        super().__init__(
+            f"checkpoint {path}: {field} mismatch "
+            f"(snapshot has {found!r}, this run needs {expected!r})"
+        )
+        self.path = str(path)
+        self.field = field
+        self.expected = expected
+        self.found = found

@@ -1,0 +1,194 @@
+"""On-disk snapshot envelope: versioned, checksummed, atomically written.
+
+A snapshot file is one ASCII header line followed by two binary
+sections::
+
+    repro-ckpt-v1 meta=<bytes> payload=<bytes> sha256=<hex>\\n
+    <meta JSON, canonical encoding>
+    <payload, opaque bytes>
+
+The header names the exact length of both sections and the SHA-256
+over their concatenation; :func:`read_snapshot` verifies all three
+before returning a single byte, so a truncated, bit-flipped or
+hand-edited snapshot is reported as
+:class:`~repro.checkpoint.errors.CheckpointCorruptError` rather than
+unpickled into a wrong simulation.
+
+The **meta** section is small canonical JSON (sorted keys, no
+whitespace) describing what the payload is — format revision, code
+version, config digest, run identity, cut point — and is readable
+without touching the payload (:func:`read_meta`), so tools can list
+and match snapshots cheaply.
+
+Writes are crash-atomic: the envelope goes to a temporary file in the
+destination directory, is flushed and ``fsync``'d, then renamed over
+the target (``os.replace``).  A reader therefore sees either the old
+complete snapshot or the new complete snapshot, never a torn one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Tuple
+
+from repro.checkpoint.errors import (
+    CheckpointCorruptError,
+    CheckpointVersionError,
+)
+
+#: header magic of the snapshot envelope
+MAGIC = "repro-ckpt"
+#: envelope format revision this module reads and writes
+FORMAT_REVISION = 1
+#: largest header line we are willing to parse (a sane header is <120 B)
+_MAX_HEADER = 4096
+
+
+def meta_dumps(meta: Dict[str, Any]) -> bytes:
+    """Canonical JSON bytes for the meta section."""
+    return json.dumps(meta, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def envelope_digest(meta_bytes: bytes, payload: bytes) -> str:
+    """SHA-256 hex digest the header must carry for these sections."""
+    digest = hashlib.sha256()
+    digest.update(meta_bytes)
+    digest.update(payload)
+    return digest.hexdigest()
+
+
+def write_snapshot(path: os.PathLike, meta: Dict[str, Any], payload: bytes) -> None:
+    """Atomically write one snapshot envelope to *path*.
+
+    The meta's ``format`` field is forced to :data:`FORMAT_REVISION`.
+    Parent directories are created.  The write is durable (file
+    ``fsync`` before the rename, best-effort directory ``fsync``
+    after) and atomic (``os.replace``), so a crash at any instant
+    leaves either the previous snapshot or this one — never a torn
+    file.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    body = dict(meta)
+    body["format"] = FORMAT_REVISION
+    meta_bytes = meta_dumps(body)
+    header = (
+        f"{MAGIC}-v{FORMAT_REVISION} meta={len(meta_bytes)} "
+        f"payload={len(payload)} "
+        f"sha256={envelope_digest(meta_bytes, payload)}\n"
+    ).encode("ascii")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=".tmp-", suffix=".ckpt"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(header)
+            handle.write(meta_bytes)
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(target.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush the rename itself (best-effort; not all FSes allow it)."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _parse_header(path: Path, line: bytes) -> Tuple[int, int, int, str]:
+    """Parse the header line -> (revision, meta_len, payload_len, digest)."""
+    try:
+        text = line.decode("ascii").rstrip("\n")
+    except UnicodeDecodeError as exc:
+        raise CheckpointCorruptError(path, "header is not ASCII") from exc
+    fields = text.split(" ")
+    if len(fields) != 4 or not fields[0].startswith(f"{MAGIC}-v"):
+        raise CheckpointCorruptError(path, f"bad header {text[:60]!r}")
+    try:
+        revision = int(fields[0][len(MAGIC) + 2:])
+        meta_len = int(fields[1].split("=", 1)[1])
+        payload_len = int(fields[2].split("=", 1)[1])
+        digest = fields[3].split("=", 1)[1]
+    except (IndexError, ValueError) as exc:
+        raise CheckpointCorruptError(path, f"unparseable header {text[:60]!r}") from exc
+    if meta_len < 0 or payload_len < 0 or len(digest) != 64:
+        raise CheckpointCorruptError(path, f"implausible header {text[:60]!r}")
+    return revision, meta_len, payload_len, digest
+
+
+def read_snapshot(path: os.PathLike) -> Tuple[Dict[str, Any], bytes]:
+    """Read and fully verify one snapshot envelope.
+
+    Returns ``(meta, payload)``.
+
+    Raises
+    ------
+    CheckpointCorruptError
+        Missing file, bad magic, truncation, trailing garbage, or a
+        checksum/length mismatch.
+    CheckpointVersionError
+        The envelope was written by an unknown format revision.
+    """
+    source = Path(path)
+    try:
+        blob = source.read_bytes()
+    except FileNotFoundError as exc:
+        raise CheckpointCorruptError(source, "no such file") from exc
+    except OSError as exc:
+        raise CheckpointCorruptError(source, f"unreadable: {exc}") from exc
+    newline = blob.find(b"\n", 0, _MAX_HEADER)
+    if newline < 0:
+        raise CheckpointCorruptError(source, "missing header line")
+    revision, meta_len, payload_len, digest = _parse_header(source, blob[:newline + 1])
+    if revision != FORMAT_REVISION:
+        raise CheckpointVersionError(source, revision)
+    body = blob[newline + 1:]
+    if len(body) != meta_len + payload_len:
+        raise CheckpointCorruptError(
+            source,
+            f"body is {len(body)} bytes, header promises {meta_len + payload_len}",
+        )
+    meta_bytes = body[:meta_len]
+    payload = body[meta_len:]
+    if envelope_digest(meta_bytes, payload) != digest:
+        raise CheckpointCorruptError(source, "sha256 checksum mismatch")
+    try:
+        meta = json.loads(meta_bytes.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CheckpointCorruptError(source, f"meta is not JSON: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise CheckpointCorruptError(source, "meta is not a JSON object")
+    if meta.get("format") != revision:
+        raise CheckpointCorruptError(
+            source,
+            f"meta format {meta.get('format')!r} disagrees with header v{revision}",
+        )
+    return meta, payload
+
+
+def read_meta(path: os.PathLike) -> Dict[str, Any]:
+    """The verified meta section of a snapshot (payload included in
+    the checksum, so this still reads the whole file — it only skips
+    the unpickling)."""
+    meta, _ = read_snapshot(path)
+    return meta

@@ -11,6 +11,14 @@ Subcommands map one-to-one onto the experiment harnesses:
 * ``tables``    — Tables 1, 3 and 4.
 * ``swf``       — generate a workload and print it in SWF format.
 * ``lint``      — static determinism sanitizer over Python sources.
+* ``replay``    — time-travel replay of a checkpoint snapshot.
+
+The global ``--checkpoint-dir`` flag (with ``--checkpoint-every`` /
+``--checkpoint-interval`` cadences) makes in-process runs and sweep
+cells autosnapshot their full simulation state; ``run --restore``
+continues a run from such a snapshot with byte-identical output, and
+``replay`` drives a snapshot forward to an arbitrary simulated time —
+the bisection tool for divergence and race reports.
 
 The global ``--sanitize`` flag attaches the runtime half of the
 determinism sanitizer (the event-race detector) to every in-process
@@ -82,6 +90,22 @@ def build_parser() -> argparse.ArgumentParser:
              "(requires --cache-dir)",
     )
     parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="autosnapshot running simulations into DIR (atomic, "
+             "checksummed snapshots; killed runs resume via `run "
+             "--restore` or, for sweep cells, automatically on retry)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="autosnapshot every N simulation events (requires "
+             "--checkpoint-dir; default 1000 when no cadence is given)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=float, default=None, metavar="SEC",
+        help="autosnapshot every SEC simulated seconds (requires "
+             "--checkpoint-dir; may be combined with --checkpoint-every)",
+    )
+    parser.add_argument(
         "--sanitize", action="store_true",
         help="attach the determinism sanitizer's event-race detector to "
              "every in-process simulation; the report goes to stderr and "
@@ -102,6 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--faults", choices=sorted(SCENARIOS), metavar="SCENARIO",
                        help="inject a canned fault scenario "
                             f"({', '.join(sorted(SCENARIOS))})")
+    p_run.add_argument("--restore", metavar="SNAPSHOT",
+                       help="continue this exact run from a checkpoint "
+                            "snapshot instead of starting fresh; refuses "
+                            "snapshots from different code, config, "
+                            "policy, workload or load")
 
     p_cmp = sub.add_parser("compare", help="figure-style policy comparison")
     p_cmp.add_argument("workload", choices=sorted(TABLE1_MIXES))
@@ -137,6 +166,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_swf.add_argument("workload", choices=sorted(TABLE1_MIXES))
     p_swf.add_argument("--load", type=float, default=1.0)
 
+    p_replay = sub.add_parser(
+        "replay",
+        help="time-travel replay: drive a checkpoint snapshot forward "
+             "to an arbitrary simulated time (bisect divergence and "
+             "race reports)",
+    )
+    p_replay.add_argument("snapshot", help="checkpoint snapshot file")
+    p_replay.add_argument("--until", type=float, default=None, metavar="T",
+                          help="replay to simulated time T "
+                               "(default: run to completion)")
+    p_replay.add_argument("--save", metavar="FILE",
+                          help="snapshot the replayed state to FILE "
+                               "(chain replays to bisect)")
+
     p_lint = sub.add_parser(
         "lint", help="static determinism sanitizer (AST lint pass)"
     )
@@ -164,6 +207,26 @@ def _config(args: argparse.Namespace, mpl: Optional[int] = None) -> ExperimentCo
     return config
 
 
+def _checkpoint_cadence(args: argparse.Namespace):
+    """Validated ``(every_events, every_sim_seconds)`` cadence pair.
+
+    Returns ``None`` when checkpointing is off.  Without an explicit
+    cadence, ``--checkpoint-dir`` defaults to every 1000 events.
+    """
+    if args.checkpoint_dir is None:
+        if args.checkpoint_every is not None or args.checkpoint_interval is not None:
+            raise SystemExit(
+                "--checkpoint-every/--checkpoint-interval require "
+                "--checkpoint-dir"
+            )
+        return None
+    every = args.checkpoint_every
+    interval = args.checkpoint_interval
+    if every is None and interval is None:
+        every = 1000
+    return every, interval
+
+
 def _runner(args: argparse.Namespace):
     """Sweep runner from the global flags; ``None`` means plain serial."""
     from pathlib import Path
@@ -171,6 +234,7 @@ def _runner(args: argparse.Namespace):
     from repro.parallel import (
         ResultCache,
         SupervisionPolicy,
+        SweepCheckpointPolicy,
         SweepJournal,
         SweepRunner,
     )
@@ -194,7 +258,17 @@ def _runner(args: argparse.Namespace):
             Path(args.cache_dir) / "journal.jsonl", resume=args.resume
         )
 
-    if args.jobs == 1 and cache is None and supervision is None:
+    checkpoint = None
+    cadence = _checkpoint_cadence(args)
+    if cadence is not None:
+        checkpoint = SweepCheckpointPolicy(
+            directory=Path(args.checkpoint_dir),
+            every_events=cadence[0],
+            every_sim_seconds=cadence[1],
+        )
+
+    if (args.jobs == 1 and cache is None and supervision is None
+            and checkpoint is None):
         return None
     return SweepRunner(
         jobs=args.jobs,
@@ -202,16 +276,43 @@ def _runner(args: argparse.Namespace):
         supervision=supervision,
         journal=journal,
         strict=args.strict,
+        checkpoint=checkpoint,
     )
 
 
 def cmd_run(args: argparse.Namespace, sanitizer=None) -> str:
-    """Execute one workload run and format its summaries."""
+    """Execute one workload run and format its summaries.
+
+    ``--restore`` continues the run from a snapshot instead of
+    starting fresh; stdout is byte-identical either way.  Snapshots
+    from different code, config, policy, workload or load are refused
+    with the checkpoint error taxonomy's message and a non-zero exit.
+    """
+    from pathlib import Path
+
+    from repro.checkpoint import CheckpointError, CheckpointPlan
+
     config = _config(args, mpl=args.mpl)
     if getattr(args, "faults", None):
         config = config.with_faults(build_scenario(args.faults, config.n_cpus))
-    out = run_workload(args.policy, args.workload, args.load, config,
-                       sanitizer=sanitizer)
+    plan = None
+    cadence = _checkpoint_cadence(args)
+    if cadence is not None:
+        name = (
+            f"{args.policy}-{args.workload}-load{args.load:g}"
+            f"-seed{args.seed}.ckpt"
+        )
+        plan = CheckpointPlan(
+            path=Path(args.checkpoint_dir) / name,
+            every_events=cadence[0],
+            every_sim_seconds=cadence[1],
+        )
+    try:
+        out = run_workload(args.policy, args.workload, args.load, config,
+                           sanitizer=sanitizer, checkpoint=plan,
+                           restore=Path(args.restore) if args.restore else None)
+    except CheckpointError as exc:
+        raise SystemExit(f"error: {exc}")
     result = out.result
     rows = []
     for app, summary in sorted(result.by_app().items()):
@@ -290,6 +391,60 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def cmd_replay(args: argparse.Namespace, sanitizer=None) -> str:
+    """Time-travel a snapshot: replay it to ``--until`` (or the end).
+
+    Deterministic replay makes the snapshot a bisection tool: given a
+    divergence or race report at time T, replay to just before T (with
+    ``--sanitize`` to re-observe the event cohort), and ``--save`` the
+    state to chain narrower and narrower replays.
+    """
+    from pathlib import Path
+
+    from repro.checkpoint import CheckpointError, SimulationSession, read_meta
+
+    try:
+        meta = read_meta(args.snapshot)
+        session = SimulationSession.restore(Path(args.snapshot))
+    except CheckpointError as exc:
+        raise SystemExit(f"error: {exc}")
+    lines = [
+        f"snapshot {args.snapshot}",
+        f"  policy {meta['policy']}  workload {meta.get('workload') or '-'}  "
+        f"load {meta['load']:g}  seed {meta['seed']}",
+        f"  cut: t={meta['sim_time']:.6g}s after {meta['events_fired']} "
+        f"events ({meta['pending_events']} pending)",
+    ]
+    if sanitizer is not None:
+        sanitizer.begin_run(
+            f"replay {session.policy_name} seed={session.config.seed}"
+        )
+    session.run(until=args.until, sanitizer=sanitizer)
+    if sanitizer is not None:
+        sanitizer.finish()
+    lines.append(
+        f"replayed to t={session.sim.now:.6g}s: "
+        f"{session.sim.events_fired} events fired, "
+        f"{session.sim.pending_events} pending"
+    )
+    if session.complete:
+        result = session.finish().result
+        lines.append(
+            f"run complete: makespan {result.makespan:.1f}s  "
+            f"reallocations {result.reallocations}  "
+            f"migrations {result.migrations}  failed {result.failed}"
+        )
+    else:
+        lines.append(
+            "run incomplete (replay further with a later --until, "
+            "or omit it to run to completion)"
+        )
+    if args.save:
+        session.save(Path(args.save), label=f"replay@{session.sim.now:g}")
+        lines.append(f"state saved to {args.save}")
+    return "\n".join(lines)
+
+
 def cmd_compare(args: argparse.Namespace) -> str:
     """Run the Figs. 4/6/9/10-style comparison."""
     comparison = workloads.run_comparison(
@@ -351,6 +506,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(fig3.render())
     elif args.command == "run":
         print(cmd_run(args, sanitizer=sanitizer))
+    elif args.command == "replay":
+        print(cmd_replay(args, sanitizer=sanitizer))
     elif args.command == "compare":
         print(cmd_compare(args))
     elif args.command == "view":

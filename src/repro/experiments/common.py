@@ -12,20 +12,21 @@ The four policy names match the paper's evaluation: ``IRIX``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.race import RaceDetector
+from repro.checkpoint import CheckpointPlan, SimulationSession
 from repro.core.params import PDPAParams
 from repro.core.pdpa import PDPA
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.machine.machine import Machine
 from repro.machine.memory import LocalityConfig, LocalityModel
-from repro.metrics.paraver import burst_statistics, max_mpl
-from repro.metrics.stats import JobRecord, WorkloadResult
+from repro.metrics.stats import WorkloadResult
 from repro.metrics.trace import TraceRecorder
 from repro.parallel import SweepCell, SweepRunner
-from repro.qs.job import Job, JobState
+from repro.qs.job import Job
 from repro.qs.queuing import NanosQS
 from repro.qs.workload import TABLE1_MIXES, WorkloadMix, generate_workload
 from repro.rm.base import SchedulingPolicy
@@ -133,18 +134,21 @@ def make_space_policy(name: str, config: ExperimentConfig) -> SchedulingPolicy:
     raise ValueError(f"unknown space-sharing policy {name!r}; IRIX is time-shared")
 
 
-def run_jobs(
+def build_session(
     policy_name: str,
     jobs: Sequence[Job],
     config: Optional[ExperimentConfig] = None,
     load: float = 0.0,
-    sanitizer: Optional[RaceDetector] = None,
-) -> RunOutput:
-    """Execute a job list under one policy and collect all metrics.
+    workload: Optional[str] = None,
+    request_overrides: Optional[Mapping[str, int]] = None,
+) -> SimulationSession:
+    """Assemble one workload execution as a checkpointable session.
 
-    *sanitizer* attaches the event-race detector
-    (:class:`~repro.analysis.race.RaceDetector`) to the simulator for
-    this run; it observes event ordering and never perturbs results.
+    Builds the simulator, resource manager, queuing system, trace
+    recorder and (when configured) fault injector, schedules every
+    submission, and returns the whole graph as a
+    :class:`~repro.checkpoint.SimulationSession` — ready to
+    :meth:`~repro.checkpoint.SimulationSession.run`, save, or restore.
     """
     config = config or ExperimentConfig()
     if policy_name not in POLICY_NAMES:
@@ -167,9 +171,30 @@ def run_jobs(
             sim, machine, policy, streams, trace, runtime_config,
             locality=config.locality_model(),
         )
+    return _assemble_session(
+        policy_name, rm, sim, trace, jobs, config, load,
+        workload=workload, request_overrides=request_overrides,
+    )
 
-    return _execute(policy_name, rm, sim, trace, jobs, config, load,
-                    sanitizer=sanitizer)
+
+def run_jobs(
+    policy_name: str,
+    jobs: Sequence[Job],
+    config: Optional[ExperimentConfig] = None,
+    load: float = 0.0,
+    sanitizer: Optional[RaceDetector] = None,
+    checkpoint: Optional[CheckpointPlan] = None,
+) -> RunOutput:
+    """Execute a job list under one policy and collect all metrics.
+
+    *sanitizer* attaches the event-race detector
+    (:class:`~repro.analysis.race.RaceDetector`) to the simulator for
+    this run; it observes event ordering and never perturbs results.
+    *checkpoint* autosnapshots the run on the plan's cadence; neither
+    changes the result by a byte.
+    """
+    session = build_session(policy_name, jobs, config, load=load)
+    return _drive(session, sanitizer=sanitizer, checkpoint=checkpoint)
 
 
 def run_jobs_with_policy(
@@ -178,6 +203,7 @@ def run_jobs_with_policy(
     config: Optional[ExperimentConfig] = None,
     load: float = 0.0,
     sanitizer: Optional[RaceDetector] = None,
+    checkpoint: Optional[CheckpointPlan] = None,
 ) -> RunOutput:
     """Execute a job list under a caller-supplied policy instance.
 
@@ -193,11 +219,11 @@ def run_jobs_with_policy(
         sim, machine, policy, streams, trace, config.runtime_config(),
         locality=config.locality_model(),
     )
-    return _execute(policy.name, rm, sim, trace, jobs, config, load,
-                    sanitizer=sanitizer)
+    session = _assemble_session(policy.name, rm, sim, trace, jobs, config, load)
+    return _drive(session, sanitizer=sanitizer, checkpoint=checkpoint)
 
 
-def _execute(
+def _assemble_session(
     policy_name: str,
     rm: BaseResourceManager,
     sim: Simulator,
@@ -205,50 +231,40 @@ def _execute(
     jobs: Sequence[Job],
     config: ExperimentConfig,
     load: float,
-    sanitizer: Optional[RaceDetector] = None,
-) -> RunOutput:
-    """Drive one workload to completion and collect every metric."""
-    if sanitizer is not None:
-        sanitizer.begin_run(f"{policy_name} seed={config.seed}")
-        sim.attach_observer(sanitizer)
+    workload: Optional[str] = None,
+    request_overrides: Optional[Mapping[str, int]] = None,
+) -> SimulationSession:
+    """Wire the queuing system and fault injector; schedule submissions."""
     inject = config.faults is not None and not config.faults.empty
     retry = config.faults.retry_config() if inject else None
-    qs = NanosQS(sim, rm, list(jobs), trace, retry=retry)
+    job_list = list(jobs)
+    qs = NanosQS(sim, rm, job_list, trace, retry=retry)
     if inject:
         assert config.faults is not None
         streams = RandomStreams(config.seed)
         FaultInjector(sim, config.faults, rm, qs, streams, trace).install()
     qs.schedule_submissions()
-    sim.run(max_events=config.max_events)
+    return SimulationSession(
+        policy_name, load, config, sim, rm, qs, trace, job_list,
+        workload=workload,
+        request_overrides=dict(request_overrides) if request_overrides else None,
+    )
+
+
+def _drive(
+    session: SimulationSession,
+    sanitizer: Optional[RaceDetector] = None,
+    checkpoint: Optional[CheckpointPlan] = None,
+) -> RunOutput:
+    """Drive one session to completion and collect every metric."""
+    if sanitizer is not None:
+        sanitizer.begin_run(
+            f"{session.policy_name} seed={session.config.seed}"
+        )
+    session.run(sanitizer=sanitizer, checkpoint=checkpoint)
     if sanitizer is not None:
         sanitizer.finish()
-    if not qs.all_done:
-        unfinished = [job.job_id for job in qs.unfinished_jobs()]
-        raise RuntimeError(
-            f"{policy_name}: workload did not complete; unfinished jobs {unfinished}"
-        )
-    rm.finalize()
-
-    # FAILED jobs have no completion record but still count in the
-    # result so availability analyses see them.
-    done_jobs = [job for job in jobs if job.state is JobState.DONE]
-    records = [JobRecord.from_job(job) for job in done_jobs]
-    stats = burst_statistics(trace)
-    makespan = max((r.end_time for r in records), default=0.0)
-    result = WorkloadResult(
-        policy=policy_name,
-        load=load,
-        records=records,
-        makespan=makespan,
-        migrations=stats.migrations,
-        avg_burst_time=stats.avg_burst_time,
-        avg_bursts_per_cpu=stats.avg_bursts_per_cpu,
-        reallocations=rm.reallocation_count,
-        max_mpl=max_mpl(trace),
-        cpu_utilization=trace.cpu_utilization(makespan),
-        failed=len(qs.failed),
-    )
-    return RunOutput(result=result, trace=trace, rm=rm, jobs=list(jobs))
+    return session.finish()
 
 
 def run_workload(
@@ -258,9 +274,28 @@ def run_workload(
     config: Optional[ExperimentConfig] = None,
     request_overrides: Optional[Mapping[str, int]] = None,
     sanitizer: Optional[RaceDetector] = None,
+    checkpoint: Optional[CheckpointPlan] = None,
+    restore: Optional[Path] = None,
 ) -> RunOutput:
-    """Generate a Table 1 workload and execute it under one policy."""
+    """Generate a Table 1 workload and execute it under one policy.
+
+    With *restore*, the workload is not regenerated: the snapshot at
+    that path is loaded instead — after verifying it matches this
+    code version, *config*, *policy_name*, *workload* and *load* —
+    and driven from its cut point to completion.  The returned result
+    is byte-identical to the uninterrupted run's.
+    """
     config = config or ExperimentConfig()
+    workload_name = workload if isinstance(workload, str) else workload.name
+    if restore is not None:
+        session = SimulationSession.restore(
+            restore,
+            expected_config=config,
+            expected_policy=policy_name,
+            expected_workload=workload_name,
+            expected_load=load,
+        )
+        return _drive(session, sanitizer=sanitizer, checkpoint=checkpoint)
     mix = TABLE1_MIXES[workload] if isinstance(workload, str) else workload
     jobs = generate_workload(
         mix,
@@ -270,7 +305,11 @@ def run_workload(
         streams=RandomStreams(config.seed).spawn("workload"),
         request_overrides=request_overrides,
     )
-    return run_jobs(policy_name, jobs, config, load=load, sanitizer=sanitizer)
+    session = build_session(
+        policy_name, jobs, config, load=load, workload=workload_name,
+        request_overrides=request_overrides,
+    )
+    return _drive(session, sanitizer=sanitizer, checkpoint=checkpoint)
 
 
 def workload_cell_spec(
@@ -285,7 +324,10 @@ def workload_cell_spec(
     The cell carries the full :class:`ExperimentConfig`, so it is a
     pure function of its parameters and can execute in any worker
     process (or be served from the result cache) without changing its
-    outcome.
+    outcome.  The cell is marked checkpointable: a runner configured
+    with a :class:`~repro.parallel.SweepCheckpointPolicy` makes it
+    autosnapshot and resume across retries (the harness flag is not
+    part of the cache key, so records stay shareable either way).
     """
     config = config or ExperimentConfig()
     params: Dict[str, object] = {
@@ -300,7 +342,10 @@ def workload_cell_spec(
         f"{policy_name}/{workload}/load={load:g}"
         f"/seed={config.seed}/mpl={config.mpl}"
     )
-    return SweepCell(key=key, fn="repro.parallel.cells:workload_cell", params=params)
+    return SweepCell(
+        key=key, fn="repro.parallel.cells:workload_cell", params=params,
+        harness={"checkpointable": True},
+    )
 
 
 def run_workload_cells(

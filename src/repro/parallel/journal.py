@@ -19,6 +19,15 @@ Torn tails are expected, not fatal: a record interrupted mid-write
 (power loss between ``write`` and ``fsync``) leaves a final line that
 does not parse; :meth:`SweepJournal.load` stops at the first such line
 and the cell is simply recomputed.
+
+Duplicate keys are tolerated the same way: a cell journalled twice —
+a crash after the fsync but before the in-memory index updated, two
+attempts racing a retry, or a journal resumed mid-append — yields two
+intact records for one key.  The **last** record wins (it describes
+the most recent completion) and the occurrence is counted in
+:attr:`SweepJournal.duplicates` rather than treated as corruption.
+Both degradations compose: a journal with duplicated entries *and* a
+torn tail still loads every intact record before the tear.
 """
 
 from __future__ import annotations
@@ -85,6 +94,8 @@ class SweepJournal:
         self.resume = resume
         self.entries: Dict[str, JournalEntry] = {}
         self.torn_tail = False
+        #: intact records whose key had already appeared (last wins)
+        self.duplicates = 0
         if resume:
             self.entries = dict(self.load(self.path))
         elif self.path.exists():
@@ -100,6 +111,9 @@ class SweepJournal:
         Stops at the first line that fails to parse — by construction
         that can only be a torn tail (records are written atomically
         from the journal's point of view: single ``write`` + fsync).
+        A key appearing more than once yields each occurrence in file
+        order — consumed through ``dict()`` the **last** record wins —
+        and bumps :attr:`duplicates`.
         """
         if not path.exists():
             return
@@ -107,6 +121,7 @@ class SweepJournal:
             raw = path.read_bytes()
         except OSError:
             return
+        seen = set()
         for line in raw.split(b"\n"):
             if not line.strip():
                 continue
@@ -115,6 +130,9 @@ class SweepJournal:
             except (ValueError, KeyError, UnicodeDecodeError):
                 self.torn_tail = True
                 break
+            if entry.key in seen:
+                self.duplicates += 1
+            seen.add(entry.key)
             yield entry.key, entry
 
     def get(self, key: str) -> Optional[JournalEntry]:

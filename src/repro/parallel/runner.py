@@ -31,8 +31,9 @@ import hashlib
 import importlib
 import json
 import multiprocessing
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.parallel.cache import (
     ResultCache,
@@ -66,11 +67,62 @@ class SweepCell:
     params:
         Keyword arguments for ``fn``.  Must be picklable; for caching
         they must also canonicalise (plain values and dataclasses).
+    harness:
+        **Host-side** keyword arguments merged into the call but
+        excluded from the cache key: where the cell runs from, not
+        what it computes.  A cell's result must not depend on them —
+        that is what keeps a record cached under one harness
+        configuration valid under every other.  The reserved key
+        ``"checkpointable": True`` declares that ``fn`` accepts a
+        ``checkpoint`` spec; the runner fills one in when it has a
+        :class:`SweepCheckpointPolicy` and drops the flag otherwise.
     """
 
     key: str
     fn: str
     params: Mapping[str, Any] = field(default_factory=dict)
+    harness: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SweepCheckpointPolicy:
+    """Autosnapshot configuration for checkpointable sweep cells.
+
+    Each opted-in cell (``harness={"checkpointable": True}``) receives
+    a ``checkpoint`` spec naming a snapshot file under *directory*
+    (keyed by the cell's content-derived cache key, so two different
+    experiments can never collide on a snapshot) and the autosnapshot
+    cadence.  A cell that is retried after a crash, timeout or SIGKILL
+    finds its last autosnapshot at that path and resumes from it
+    instead of recomputing from scratch — with byte-identical output
+    either way.
+    """
+
+    directory: Path
+    every_events: Optional[int] = None
+    every_sim_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.every_events is not None and self.every_events < 1:
+            raise ValueError(
+                f"every_events must be >= 1, got {self.every_events}"
+            )
+        if self.every_sim_seconds is not None and self.every_sim_seconds <= 0:
+            raise ValueError(
+                f"every_sim_seconds must be positive, got {self.every_sim_seconds}"
+            )
+        if self.every_events is None and self.every_sim_seconds is None:
+            raise ValueError(
+                "checkpoint policy needs every_events and/or every_sim_seconds"
+            )
+
+    def spec_for(self, key: str) -> Dict[str, Any]:
+        """The ``checkpoint`` kwarg injected into one cell's call."""
+        return {
+            "path": str(Path(self.directory) / f"{key}.ckpt"),
+            "every_events": self.every_events,
+            "every_sim_seconds": self.every_sim_seconds,
+        }
 
 
 @dataclass
@@ -199,6 +251,11 @@ class SweepRunner:
         With supervision, raise
         :class:`~repro.parallel.errors.PoisonCellError` as soon as any
         cell exhausts its retry budget instead of quarantining it.
+    checkpoint:
+        Optional :class:`SweepCheckpointPolicy`.  Checkpointable cells
+        autosnapshot on its cadence and resume from their last
+        snapshot when retried, so a SIGKILL'd or timed-out cell loses
+        at most one checkpoint interval of work.
     """
 
     def __init__(
@@ -209,6 +266,7 @@ class SweepRunner:
         supervision: Optional[SupervisionPolicy] = None,
         journal: Optional[SweepJournal] = None,
         strict: bool = False,
+        checkpoint: Optional[SweepCheckpointPolicy] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -223,6 +281,7 @@ class SweepRunner:
         self.supervision = supervision
         self.journal = journal
         self.strict = strict
+        self.checkpoint = checkpoint
         #: stats of the most recent run() call
         self.last_stats = SweepStats()
         #: stats accumulated over every run() of this runner's lifetime
@@ -266,6 +325,14 @@ class SweepRunner:
 
         quarantined: List[int] = []
         if pending:
+            # Resolve harness-side call arguments (checkpoint specs,
+            # ...) for the cells that will actually execute.  Cache
+            # keys were computed above from cell.params alone, so the
+            # harness cannot perturb them.
+            exec_cells = list(cells)
+            for i in pending:
+                exec_cells[i] = self._resolve(cells[i], keys[i])
+
             def complete(index: int, payload: str) -> None:
                 payloads[index] = payload
                 stats.executed += 1
@@ -276,17 +343,17 @@ class SweepRunner:
             if self.supervision is None:
                 if self.jobs == 1 or len(pending) == 1:
                     for i in pending:
-                        complete(i, execute_cell(cells[i].fn, cells[i].params))
+                        complete(i, execute_cell(exec_cells[i].fn, exec_cells[i].params))
                 else:
-                    self._run_pool_fail_fast(cells, pending, complete)
+                    self._run_pool_fail_fast(exec_cells, pending, complete)
             elif self.jobs == 1:
                 quarantined = run_serial_supervised(
-                    cells, pending, self.supervision, execute_cell,
+                    exec_cells, pending, self.supervision, execute_cell,
                     complete, stats=stats, strict=self.strict,
                 )
             else:
                 supervisor = PoolSupervisor(
-                    cells, self.supervision, _worker, complete, stats,
+                    exec_cells, self.supervision, _worker, complete, stats,
                     jobs=self.jobs, mp_context=self.mp_context,
                     strict=self.strict,
                 )
@@ -299,6 +366,29 @@ class SweepRunner:
         assert not missing, f"lost cells (no payload, not quarantined): {missing}"
         self.total_stats.accumulate(stats)
         return payloads
+
+    # ------------------------------------------------------------------
+    # harness resolution
+    # ------------------------------------------------------------------
+    def _resolve(self, cell: SweepCell, key: Optional[str]) -> SweepCell:
+        """Merge a cell's harness arguments into its call parameters.
+
+        The ``checkpointable`` flag is consumed here: when this runner
+        carries a :class:`SweepCheckpointPolicy` it becomes a concrete
+        ``checkpoint`` spec (snapshot path keyed by the cell's cache
+        key), otherwise it is dropped and the cell runs plain.
+        """
+        if not cell.harness and self.checkpoint is None:
+            return cell
+        merged = dict(cell.params)
+        harness = dict(cell.harness)
+        checkpointable = bool(harness.pop("checkpointable", False))
+        merged.update(harness)
+        if checkpointable and self.checkpoint is not None:
+            merged["checkpoint"] = self.checkpoint.spec_for(
+                key if key is not None else cell_key(cell.fn, cell.params)
+            )
+        return replace(cell, params=merged, harness={})
 
     # ------------------------------------------------------------------
     # journal replay

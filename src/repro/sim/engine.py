@@ -22,7 +22,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
+
+#: compaction threshold: the queue physically drops lazily-deleted
+#: events once the heap holds at least this many entries and live
+#: events make up less than half of them.  Keeps long-running
+#: simulations (and their snapshots) from accumulating unbounded
+#: cancelled-event garbage while leaving short runs alone.
+_COMPACT_MIN_HEAP = 64
 
 
 class SimulationError(RuntimeError):
@@ -152,6 +159,7 @@ class EventQueue:
         event._cancel_noted = True
         self._live -= 1
         self._check_live()
+        self._maybe_compact()
         return True
 
     def _purge(self) -> None:
@@ -227,6 +235,48 @@ class EventQueue:
         self._live -= 1
         self._noted_pending += 1
         self._check_live()
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Compact when the dead fraction of the heap grows too large."""
+        if (len(self._heap) >= _COMPACT_MIN_HEAP
+                and self._live * 2 < len(self._heap)):
+            self.compact()
+
+    def compact(self) -> None:
+        """Physically drop every cancelled event from the heap.
+
+        Lazy deletion trades memory for O(1) cancels; on long runs
+        (or before a snapshot) the dead entries are reclaimed here.
+        Pop order is unaffected: event ordering is a total order
+        (time, priority, insertion sequence), so re-heapifying the
+        survivors cannot change which event surfaces next.  The same
+        bookkeeping rules as :meth:`_purge` apply to events cancelled
+        behind the queue's back, and the ``_live`` invariant — live
+        count equals the number of non-cancelled events in the heap —
+        is checked afterwards.
+        """
+        heap = self._heap
+        if self._live == len(heap):
+            return
+        survivors: List[Event] = []
+        for event in heap:
+            if not event._cancelled:
+                survivors.append(event)
+            elif not event._cancel_noted:
+                event._cancel_noted = True
+                if self._noted_pending > 0:
+                    self._noted_pending -= 1
+                else:
+                    self._live -= 1
+        heapq.heapify(survivors)
+        self._heap = survivors
+        self._check_live()
+        if self._noted_pending == 0 and self._live != len(survivors):
+            raise SimulationError(
+                f"event-queue compaction broke the live invariant: "
+                f"_live={self._live} but {len(survivors)} live events remain"
+            )
 
     def __len__(self) -> int:
         return self._live
@@ -263,6 +313,27 @@ class Simulator:
         self._stopped = False
         self._events_fired = 0
         self._observer: Optional[Any] = None
+        self._ckpt_hook: Optional[Callable[[], None]] = None
+        self._ckpt_every_events: Optional[int] = None
+        self._ckpt_every_seconds: Optional[float] = None
+        self._ckpt_next_events = 0
+        self._ckpt_next_time = 0.0
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle support: host-side attachments are not state.
+
+        Observers (the ``--sanitize`` race detector) and the
+        checkpoint hook belong to the *process* driving the
+        simulation, not to the simulation itself — a snapshot taken
+        mid-``run`` restores as a quiescent, runnable simulator with
+        neither attached (re-attach after restore if wanted).
+        """
+        state = dict(self.__dict__)
+        state["_running"] = False
+        state["_stopped"] = False
+        state["_observer"] = None
+        state["_ckpt_hook"] = None
+        return state
 
     @property
     def now(self) -> float:
@@ -356,6 +427,76 @@ class Simulator:
         """Remove the attached observer, if any."""
         self._observer = None
 
+    def compact(self) -> None:
+        """Reclaim lazily-deleted events from the queue now.
+
+        Called automatically when the dead fraction grows large and by
+        :meth:`repro.checkpoint.session.SimulationSession.save` so
+        snapshots never carry cancelled-event garbage.
+        """
+        self._queue.compact()
+
+    def set_checkpoint_hook(
+        self,
+        hook: Callable[[], None],
+        every_events: Optional[int] = None,
+        every_sim_seconds: Optional[float] = None,
+    ) -> None:
+        """Install *hook* to run periodically **between** events.
+
+        The hook fires after an event's callback returns, once
+        *every_events* events have fired since the last checkpoint
+        and/or the clock advanced *every_sim_seconds* past it
+        (whichever trips first; at least one cadence is required).
+        Firing between events means the hook observes a well-defined
+        prefix of the event history — the foundation of the
+        checkpoint subsystem's byte-identical restore guarantee.  The
+        hook must not schedule, cancel or mutate simulation state.
+        Like observers, the hook is process-local: it is dropped when
+        the simulator is pickled.
+        """
+        if every_events is None and every_sim_seconds is None:
+            raise SimulationError(
+                "checkpoint hook needs every_events and/or every_sim_seconds"
+            )
+        if every_events is not None and every_events < 1:
+            raise SimulationError(
+                f"every_events must be >= 1, got {every_events}"
+            )
+        if every_sim_seconds is not None and every_sim_seconds <= 0:
+            raise SimulationError(
+                f"every_sim_seconds must be positive, got {every_sim_seconds}"
+            )
+        self._ckpt_hook = hook
+        self._ckpt_every_events = every_events
+        self._ckpt_every_seconds = every_sim_seconds
+        self._arm_checkpoint()
+
+    def clear_checkpoint_hook(self) -> None:
+        """Remove the checkpoint hook, if any."""
+        self._ckpt_hook = None
+
+    def _arm_checkpoint(self) -> None:
+        if self._ckpt_every_events is not None:
+            self._ckpt_next_events = self._events_fired + self._ckpt_every_events
+        if self._ckpt_every_seconds is not None:
+            self._ckpt_next_time = self._now + self._ckpt_every_seconds
+
+    def _checkpoint_tick(self) -> None:
+        """Fire the checkpoint hook if a cadence threshold passed."""
+        due = (
+            (self._ckpt_every_events is not None
+             and self._events_fired >= self._ckpt_next_events)
+            or (self._ckpt_every_seconds is not None
+                and self._now >= self._ckpt_next_time)
+        )
+        if not due:
+            return
+        hook = self._ckpt_hook
+        assert hook is not None
+        hook()
+        self._arm_checkpoint()
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the queue drains, *until* passes, or stop().
 
@@ -393,6 +534,8 @@ class Simulator:
                 if self._observer is not None:
                     self._observer.on_event(event)
                 event.callback(*event.args)
+                if self._ckpt_hook is not None:
+                    self._checkpoint_tick()
         finally:
             self._running = False
         if until is not None and not self._stopped:

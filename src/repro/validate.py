@@ -32,6 +32,13 @@ payload or an accounted quarantine), the stats must balance
 completed cell must be journalled when a journal is in use, and every
 journal digest must match the payload bytes it promises.
 
+:func:`validate_checkpoint` audits a **snapshot file**: the envelope
+must verify (magic, lengths, sha256), the payload must restore into a
+session of the current code version, the envelope meta must describe
+the restored graph exactly (cut time, events fired, pending events,
+run identity), and the restored event queue must survive compaction
+with its live-count invariant intact.
+
 Both entry points accept the ``--sanitize`` event-race detector (or
 its finished :class:`~repro.analysis.race.RaceStats`): ambiguous
 same-timestamp cohorts reported by the determinism sanitizer are
@@ -158,6 +165,64 @@ def validate_sweep(
     # 4. Report footer: determinism-sanitizer findings, if a detector
     #    observed the in-process runs around this sweep.
     problems.extend(validate_race(race))
+    return problems
+
+
+def validate_checkpoint(path, expected_config=None) -> List[str]:
+    """Audit one checkpoint snapshot; returns violations (empty = ok).
+
+    Verifies the envelope (magic, section lengths, sha256), restores
+    the session (which enforces the code-version gate and, with
+    *expected_config*, the config gate), and then cross-checks the
+    envelope meta against the restored simulation graph: the cut
+    point it advertises must be the cut point the graph is actually
+    at, and the event queue must survive compaction with its
+    live-count invariant intact.  A snapshot that passes restores
+    into a run whose continuation is byte-identical to the
+    uninterrupted one.
+    """
+    from repro.checkpoint import CheckpointError, SimulationSession, read_snapshot
+
+    try:
+        meta, _ = read_snapshot(path)
+    except CheckpointError as exc:
+        return [f"envelope ({exc.kind}): {exc}"]
+    try:
+        session = SimulationSession.restore(path, expected_config=expected_config)
+    except CheckpointError as exc:
+        return [f"restore ({exc.kind}): {exc}"]
+
+    problems: List[str] = []
+    sim = session.sim
+    for field, actual in (
+        ("sim_time", sim.now),
+        ("events_fired", sim.events_fired),
+        ("pending_events", sim.pending_events),
+        ("policy", session.policy_name),
+        ("workload", session.workload),
+        ("load", session.load),
+        ("seed", session.config.seed),
+    ):
+        if meta.get(field) != actual:
+            problems.append(
+                f"meta {field} {meta.get(field)!r} does not describe the "
+                f"restored graph ({actual!r})"
+            )
+    pending_before = sim.pending_events
+    try:
+        sim.compact()
+    except Exception as exc:  # SimulationError: _live invariant broken
+        problems.append(f"event-queue compaction invariant: {exc}")
+    else:
+        if sim.pending_events != pending_before:
+            problems.append(
+                f"compaction changed the live event count "
+                f"({pending_before} -> {sim.pending_events})"
+            )
+    if meta.get("pending_events") == 0 and not session.complete:
+        problems.append(
+            "no pending events but the run is not complete (wedged graph)"
+        )
     return problems
 
 

@@ -267,3 +267,130 @@ class TestTornJournal:
         # The torn cell is still in the cache, so nothing re-executes.
         assert runner.last_stats.cache_hits == 1
         assert validate_sweep(runner, cells, payloads) == []
+
+
+def _cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return env
+
+
+class TestKillMidRunThenRestore:
+    """SIGKILL a checkpointing run; ``--restore`` must finish it.
+
+    The property under test is the tentpole contract end to end, at
+    the CLI boundary: stdout of the restored run is **byte-identical**
+    to the uninterrupted run's.  Snapshots live in the artifact dir so
+    a failing CI run uploads them for post-mortem.
+    """
+
+    RUN = ["--seed", "3", "run", "PDPA", "w1", "--load", "1.0"]
+
+    def _cli(self, args, **kwargs):
+        return subprocess.run(
+            [sys.executable, "-m", "repro"] + args,
+            env=_cli_env(), cwd=str(REPO_ROOT),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, timeout=300, **kwargs,
+        )
+
+    def test_sigkilled_run_restored_byte_identical(self, artifact_dir):
+        from repro.checkpoint import CheckpointError, read_meta
+
+        baseline = self._cli(self.RUN)
+        assert baseline.returncode == 0, baseline.stderr
+
+        ckpt_dir = artifact_dir / "snapshots"
+        snapshot = ckpt_dir / "PDPA-w1-load1-seed3.ckpt"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro",
+             "--checkpoint-dir", str(ckpt_dir), "--checkpoint-every", "100"]
+            + self.RUN,
+            env=_cli_env(), cwd=str(REPO_ROOT),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Wait for the first complete snapshot, then strike.  The
+            # atomic write contract means any snapshot we can see is a
+            # whole one, even though the victim is mid-autosave cycle.
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if snapshot.exists():
+                    try:
+                        meta = read_meta(snapshot)
+                        break
+                    except CheckpointError:
+                        pass  # racing the very first os.replace
+                time.sleep(0.02)
+            else:
+                pytest.fail("run never produced a snapshot")
+        finally:
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        assert proc.returncode == -signal.SIGKILL  # died mid-run
+        assert meta["label"] == "auto"
+        assert meta["pending_events"] > 0  # a genuine mid-run cut
+
+        restored = self._cli(self.RUN + ["--restore", str(snapshot)])
+        assert restored.returncode == 0, restored.stderr
+        assert restored.stdout == baseline.stdout
+
+    def test_restore_refuses_a_foreign_snapshot(self, artifact_dir):
+        ckpt_dir = artifact_dir / "snapshots"
+        run = self._cli(
+            ["--checkpoint-dir", str(ckpt_dir), "--checkpoint-every", "100"]
+            + self.RUN
+        )
+        assert run.returncode == 0, run.stderr
+        snapshot = ckpt_dir / "PDPA-w1-load1-seed3.ckpt"
+        assert snapshot.exists()
+        mismatched = self._cli(
+            ["--seed", "3", "run", "Equip", "w1", "--load", "1.0",
+             "--restore", str(snapshot)]
+        )
+        assert mismatched.returncode != 0
+        assert "policy mismatch" in mismatched.stderr
+
+
+class TestSigkilledCellResumesFromSnapshot:
+    def test_retry_resumes_from_snapshot_byte_identical(self, artifact_dir):
+        from repro.experiments.common import ExperimentConfig, run_workload
+        from repro.parallel import SweepCheckpointPolicy, canonical_dumps
+
+        config = ExperimentConfig(n_cpus=32, duration=120.0, seed=7)
+        baseline = canonical_dumps(
+            run_workload("PDPA", "w1", 1.0, config).result.to_dict()
+        )
+        victim = SweepCell(
+            key="victim",
+            fn="tests.chaos_cells:killed_checkpoint_cell",
+            params={"policy": "PDPA", "workload": "w1", "load": 1.0,
+                    "config": config,
+                    "state_dir": str(artifact_dir / "state")},
+            harness={"checkpointable": True},
+        )
+        cells = [_echo(0), victim, _echo(2)]
+        policy = SweepCheckpointPolicy(
+            directory=artifact_dir / "snapshots", every_events=500
+        )
+        runner = SweepRunner(jobs=2, supervision=POLICY, checkpoint=policy)
+        payloads = runner.run_serialized(cells)
+
+        stats = runner.last_stats
+        assert stats.quarantined == 0, [f.describe() for f in stats.failures]
+        assert stats.retried >= 1  # the SIGKILL cost at least one attempt
+        # Two attempts on disk: the killed one and the resuming one.
+        attempts = list((artifact_dir / "state").glob("attempt-*"))
+        assert len(attempts) == 2
+        # The record is byte-identical to an uninterrupted serial run —
+        # and the cell raises if it cannot resume, so this record was
+        # provably computed through the snapshot-restore path.
+        assert payloads[1] == baseline
+        assert payloads[0] is not None and payloads[2] is not None
+        # Consumed on success: no snapshot left behind.
+        assert list((artifact_dir / "snapshots").glob("*.ckpt")) == []
+        assert validate_sweep(runner, cells, payloads) == []

@@ -25,6 +25,7 @@ from repro.parallel import (
     ResultCache,
     SupervisionPolicy,
     SweepCell,
+    SweepCheckpointPolicy,
     SweepJournal,
     SweepRunner,
     UnserialisableRecord,
@@ -573,3 +574,172 @@ def _nowarn():
     import contextlib
 
     return contextlib.nullcontext()
+
+
+class TestJournalDuplicates:
+    def _write(self, path, records):
+        with SweepJournal(path) as journal:
+            for key, payload in records:
+                journal.append(key, payload)
+
+    def test_duplicate_key_last_write_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write(path, [("a", "one"), ("b", "x"), ("a", "two")])
+        journal = SweepJournal(path, resume=True)
+        assert len(journal) == 2
+        assert journal.duplicates == 1
+        assert not journal.torn_tail
+        entry = journal.get("a")
+        assert entry is not None and entry.matches("two")
+        assert not entry.matches("one")
+
+    def test_duplicates_compose_with_torn_tail(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write(path, [("a", "one"), ("a", "two"), ("b", "x")])
+        path.write_bytes(path.read_bytes()[:-5])  # tear the "b" record
+        journal = SweepJournal(path, resume=True)
+        assert journal.torn_tail
+        assert journal.duplicates == 1
+        assert len(journal) == 1
+        assert journal.get("a").matches("two")
+        assert journal.get("b") is None
+
+    def test_tear_inside_the_duplicate_keeps_first_record(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write(path, [("a", "one"), ("b", "x"), ("a", "two")])
+        path.write_bytes(path.read_bytes()[:-5])  # tear the second "a"
+        journal = SweepJournal(path, resume=True)
+        assert journal.torn_tail
+        assert journal.duplicates == 0
+        assert len(journal) == 2
+        assert journal.get("a").matches("one")
+
+    def test_fresh_journal_has_no_duplicates(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        assert journal.duplicates == 0
+
+    def test_resume_serves_last_duplicate_payload(self, tmp_path):
+        cells = _echo_cells(2)
+        cache = ResultCache(tmp_path / "cache")
+        with SweepJournal(tmp_path / "j.jsonl") as journal:
+            runner = SweepRunner(cache=cache, journal=journal)
+            fresh = runner.run_serialized(cells)
+            # Simulate a retried cell journalled twice.
+            journal.append(cell_key(cells[0].fn, cells[0].params), fresh[0])
+        journal = SweepJournal(tmp_path / "j.jsonl", resume=True)
+        assert journal.duplicates == 1
+        runner = SweepRunner(cache=cache, journal=journal)
+        assert runner.run_serialized(cells) == fresh
+        assert runner.last_stats.resumed == 2
+
+
+class TestSweepCheckpointPolicy:
+    def test_requires_a_cadence(self, tmp_path):
+        with pytest.raises(ValueError, match="every_events"):
+            SweepCheckpointPolicy(directory=tmp_path)
+        with pytest.raises(ValueError, match=">= 1"):
+            SweepCheckpointPolicy(directory=tmp_path, every_events=0)
+        with pytest.raises(ValueError, match="positive"):
+            SweepCheckpointPolicy(directory=tmp_path, every_sim_seconds=0.0)
+
+    def test_spec_names_snapshot_by_cell_key(self, tmp_path):
+        policy = SweepCheckpointPolicy(
+            directory=tmp_path, every_events=100, every_sim_seconds=5.0
+        )
+        spec = policy.spec_for("abc123")
+        assert spec == {
+            "path": str(tmp_path / "abc123.ckpt"),
+            "every_events": 100,
+            "every_sim_seconds": 5.0,
+        }
+
+
+class TestCheckpointableCells:
+    def _cell(self):
+        return workload_cell_spec("PDPA", "w1", 1.0, CONFIG)
+
+    def _snapshot_path(self, policy, cell):
+        from pathlib import Path
+
+        return Path(policy.spec_for(cell_key(cell.fn, cell.params))["path"])
+
+    def test_record_byte_identical_with_checkpointing(self, tmp_path):
+        baseline = canonical_dumps(
+            run_workload("PDPA", "w1", 1.0, CONFIG).result.to_dict()
+        )
+        policy = SweepCheckpointPolicy(
+            directory=tmp_path / "ck", every_events=200
+        )
+        runner = SweepRunner(checkpoint=policy)
+        payloads = runner.run_serialized([self._cell()])
+        assert payloads[0] == baseline
+
+    def test_snapshot_removed_after_success(self, tmp_path):
+        policy = SweepCheckpointPolicy(
+            directory=tmp_path / "ck", every_events=200
+        )
+        cell = self._cell()
+        SweepRunner(checkpoint=policy).run_serialized([cell])
+        assert not self._snapshot_path(policy, cell).exists()
+
+    def test_resume_from_surviving_snapshot(self, tmp_path):
+        from repro.checkpoint import read_meta
+        from repro.experiments.common import build_session
+        from repro.qs.workload import TABLE1_MIXES, generate_workload
+        from repro.sim.rng import RandomStreams
+
+        baseline = canonical_dumps(
+            run_workload("PDPA", "w1", 1.0, CONFIG).result.to_dict()
+        )
+        policy = SweepCheckpointPolicy(
+            directory=tmp_path / "ck", every_events=200
+        )
+        cell = self._cell()
+        # A snapshot a crashed earlier attempt would have left behind.
+        jobs = generate_workload(
+            TABLE1_MIXES["w1"], 1.0, n_cpus=CONFIG.n_cpus,
+            duration=CONFIG.duration,
+            streams=RandomStreams(CONFIG.seed).spawn("workload"),
+        )
+        session = build_session("PDPA", jobs, CONFIG, load=1.0, workload="w1")
+        session.run(until=60.0)
+        snapshot = self._snapshot_path(policy, cell)
+        session.save(snapshot, label="auto")
+        assert read_meta(snapshot)["sim_time"] == 60.0
+        payloads = SweepRunner(checkpoint=policy).run_serialized([cell])
+        assert payloads[0] == baseline
+        assert not snapshot.exists()
+
+    def test_corrupt_snapshot_falls_back_to_fresh(self, tmp_path):
+        baseline = canonical_dumps(
+            run_workload("PDPA", "w1", 1.0, CONFIG).result.to_dict()
+        )
+        policy = SweepCheckpointPolicy(
+            directory=tmp_path / "ck", every_events=200
+        )
+        cell = self._cell()
+        snapshot = self._snapshot_path(policy, cell)
+        snapshot.parent.mkdir(parents=True)
+        snapshot.write_bytes(b"rotten bytes from another era")
+        payloads = SweepRunner(checkpoint=policy).run_serialized([cell])
+        assert payloads[0] == baseline
+        assert not snapshot.exists()
+
+    def test_checkpoint_plumbing_not_in_cache_key(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        policy = SweepCheckpointPolicy(
+            directory=tmp_path / "ck", every_events=200
+        )
+        with_ckpt = SweepRunner(cache=cache, checkpoint=policy)
+        first = with_ckpt.run_serialized([self._cell()])
+        assert with_ckpt.last_stats.executed == 1
+        plain = SweepRunner(cache=cache)
+        again = plain.run_serialized([self._cell()])
+        assert plain.last_stats.cache_hits == 1
+        assert plain.last_stats.executed == 0
+        assert again == first
+
+    def test_harness_flag_survives_cell_construction(self):
+        cell = self._cell()
+        assert cell.harness == {"checkpointable": True}
+        assert "checkpoint" not in cell.params

@@ -318,3 +318,162 @@ class TestEventQueue:
         assert q.pop() is None
         assert q.peek_time() is None
         assert not q
+
+
+class TestCompaction:
+    def _event(self, time, seq):
+        return Event(time, 0, seq, lambda: None, (), "t")
+
+    def _fill(self, q, n, start_seq=0):
+        events = [self._event(float(i), start_seq + i) for i in range(n)]
+        for event in events:
+            q.push(event)
+        return events
+
+    def test_compact_drops_cancelled_keeps_order(self):
+        q = EventQueue()
+        events = self._fill(q, 10)
+        for event in events[::2]:
+            q.cancel(event)
+        q.compact()
+        assert len(q._heap) == 5
+        assert len(q) == 5
+        assert [q.pop().time for _ in range(5)] == [1.0, 3.0, 5.0, 7.0, 9.0]
+
+    def test_compact_on_clean_heap_is_noop(self):
+        q = EventQueue()
+        self._fill(q, 10)
+        heap_before = list(q._heap)
+        q.compact()
+        assert q._heap == heap_before
+
+    def test_cancel_below_threshold_does_not_compact(self):
+        q = EventQueue()
+        events = self._fill(q, 32)
+        for event in events[:20]:
+            q.cancel(event)
+        # dead fraction is high but the heap is under _COMPACT_MIN_HEAP
+        assert len(q._heap) == 32
+        assert len(q) == 12
+
+    def test_cancel_past_threshold_compacts_automatically(self):
+        q = EventQueue()
+        events = self._fill(q, 80)
+        # cancel until live*2 < heap size: 41 cancels leaves 39 live
+        for event in events[:41]:
+            q.cancel(event)
+        assert len(q._heap) == 39
+        assert len(q) == 39
+
+    def test_note_cancelled_path_also_triggers_compaction(self):
+        q = EventQueue()
+        events = self._fill(q, 80)
+        for event in events[:41]:
+            event.cancel()      # behind the queue's back
+            q.note_cancelled()  # pre-paid credit
+        assert len(q._heap) == 39
+        assert q._noted_pending == 0  # credits consumed by the compaction
+        assert len(q) == 39
+
+    def test_unnoted_bare_cancels_defer_to_lazy_deletion(self):
+        q = EventQueue()
+        events = self._fill(q, 10)
+        for event in events[:4]:
+            event.cancel()  # no note_cancelled: _live is stale
+        # All cancels unaccounted: the fast path sees a clean heap and
+        # leaves reconciliation to the lazy purge on the next pop.
+        q.compact()
+        assert len(q._heap) == 10
+        popped = q.pop()
+        assert popped is not None and popped.seq == 4
+        assert len(q) == 5
+
+    def test_compact_handles_unnoted_bare_cancels(self):
+        q = EventQueue()
+        events = self._fill(q, 10)
+        q.cancel(events[9])  # one accounted cancel makes _live diverge
+        for event in events[:4]:
+            event.cancel()  # no note_cancelled: _live is stale
+        q.compact()
+        assert len(q._heap) == 5
+        assert len(q) == 5
+
+    def test_compact_mixed_noted_and_unnoted_cancels(self):
+        q = EventQueue()
+        events = self._fill(q, 12)
+        q.cancel(events[0])
+        events[1].cancel()
+        q.note_cancelled()
+        events[2].cancel()  # unnoted
+        q.compact()
+        assert len(q._heap) == 9
+        assert len(q) == 9
+        assert q._noted_pending == 0
+
+    def test_pop_order_identical_with_and_without_compaction(self):
+        def build():
+            q = EventQueue()
+            events = self._fill(q, 50)
+            for event in events[7:40:3]:
+                q.cancel(event)
+            return q
+
+        plain, compacted = build(), build()
+        compacted.compact()
+        order = lambda q: [e.seq for e in iter(q.pop, None)]
+        assert order(compacted) == order(plain)
+
+    def test_compact_detects_broken_live_invariant(self):
+        q = EventQueue()
+        self._fill(q, 10)
+        q._live = 7  # corrupt the bookkeeping behind the queue's back
+        with pytest.raises(SimulationError, match="live invariant"):
+            q.compact()
+
+    def test_simulator_compact_preserves_run(self, sim):
+        seen = []
+        for t in range(8):
+            sim.schedule_at(float(t), seen.append, t)
+        doomed = [sim.schedule_at(float(t) + 0.5, seen.append, -t)
+                  for t in range(8)]
+        for event in doomed:
+            sim.cancel(event)
+        sim.compact()
+        assert sim.pending_events == 8
+        sim.run()
+        assert seen == list(range(8))
+
+
+class TestCheckpointHook:
+    def test_hook_fires_on_event_cadence(self, sim):
+        ticks = []
+        for t in range(10):
+            sim.schedule_at(float(t), lambda: None)
+        sim.set_checkpoint_hook(
+            lambda: ticks.append(sim.events_fired), every_events=3
+        )
+        sim.run()
+        assert ticks == [3, 6, 9]
+
+    def test_hook_fires_on_sim_time_cadence(self, sim):
+        ticks = []
+        for t in range(10):
+            sim.schedule_at(float(t), lambda: None)
+        sim.set_checkpoint_hook(lambda: ticks.append(sim.now),
+                                every_sim_seconds=4.0)
+        sim.run()
+        assert ticks == [4.0, 8.0]
+
+    def test_hook_requires_a_cadence(self, sim):
+        with pytest.raises(SimulationError, match="every_events"):
+            sim.set_checkpoint_hook(lambda: None)
+
+    def test_clear_hook_stops_firing(self, sim):
+        ticks = []
+        for t in range(10):
+            sim.schedule_at(float(t), lambda: None)
+        sim.set_checkpoint_hook(lambda: ticks.append(1), every_events=2)
+        sim.run(until=4.0)
+        sim.clear_checkpoint_hook()
+        sim.run()
+        assert len(ticks) == 2
