@@ -12,6 +12,8 @@ Subcommands map one-to-one onto the experiment harnesses:
 * ``swf``       — generate a workload and print it in SWF format.
 * ``lint``      — static determinism sanitizer over Python sources.
 * ``replay``    — time-travel replay of a checkpoint snapshot.
+* ``fuzz``      — stateful protocol fuzzing with differential policy
+  checking; shrunk counterexamples land in a replayable corpus.
 
 The global ``--checkpoint-dir`` flag (with ``--checkpoint-every`` /
 ``--checkpoint-interval`` cadences) makes in-process runs and sweep
@@ -179,6 +181,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("--save", metavar="FILE",
                           help="snapshot the replayed state to FILE "
                                "(chain replays to bisect)")
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="stateful protocol fuzzing: arbitrary interleavings of "
+             "arrival/progress/fault/checkpoint ops against live "
+             "sessions, with an incremental invariant oracle",
+    )
+    p_fuzz.add_argument(
+        "--policies", nargs="+", default=None, metavar="POLICY",
+        help="policies to fuzz (default: Equip Equal_eff PDPA Cluster)",
+    )
+    p_fuzz.add_argument(
+        "--profile", choices=("ci", "dev", "nightly"), default="dev",
+        help="campaign size: ci=smoke (PR gate), dev=default, "
+             "nightly=deep (default: dev)",
+    )
+    p_fuzz.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="hypothesis examples per policy (overrides --profile)",
+    )
+    p_fuzz.add_argument(
+        "--steps", type=int, default=None, metavar="N",
+        help="max rules per example (overrides --profile)",
+    )
+    p_fuzz.add_argument(
+        "--corpus-dir", metavar="DIR", default=None,
+        help="write shrunk counterexamples here "
+             "(default: tests/fuzz_corpus)",
+    )
+    p_fuzz.add_argument(
+        "--no-differential", action="store_true",
+        help="skip the cross-policy differential conservation pass",
+    )
 
     p_lint = sub.add_parser(
         "lint", help="static determinism sanitizer (AST lint pass)"
@@ -391,6 +426,92 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run fuzz campaigns + the differential pass; 1 on any finding.
+
+    Output is deterministic for a fixed (seed, profile, policy set):
+    the same seed explores the same rule sequences and reaches the
+    same verdict, so a CI failure reproduces locally verbatim.
+    """
+    from pathlib import Path
+
+    from repro.fuzz.corpus import (
+        CORPUS_DIR,
+        CorpusEntry,
+        violation_dicts,
+        write_corpus,
+    )
+    from repro.fuzz.differential import differential_check, random_stimulus
+    from repro.fuzz.profiles import CAMPAIGN_BUDGETS
+    from repro.fuzz.runner import run_campaign
+    from repro.fuzz.targets import FUZZ_POLICIES
+
+    policies = tuple(args.policies) if args.policies else FUZZ_POLICIES
+    for policy in policies:
+        if policy not in FUZZ_POLICIES:
+            raise SystemExit(
+                f"error: unknown policy {policy!r} "
+                f"(choose from {', '.join(FUZZ_POLICIES)})"
+            )
+    budget, steps = CAMPAIGN_BUDGETS[args.profile]
+    if args.budget is not None:
+        budget = args.budget
+    if args.steps is not None:
+        steps = args.steps
+    corpus_dir = Path(args.corpus_dir) if args.corpus_dir else CORPUS_DIR
+
+    print(
+        f"fuzz: profile={args.profile} seed={args.seed} "
+        f"budget={budget} steps={steps} "
+        f"policies={','.join(policies)}"
+    )
+    findings = 0
+    for policy in policies:
+        result = run_campaign(policy, seed=args.seed, budget=budget, steps=steps)
+        if result.ok:
+            print(f"  {policy:<10} ok  ({budget} examples)")
+            continue
+        findings += 1
+        failure = result.failure
+        assert failure is not None
+        entry = CorpusEntry(
+            stimulus=failure.stimulus,
+            violations=violation_dicts(failure.violations),
+            crash=failure.crash,
+            note=(
+                f"shrunk by `repro fuzz --seed {args.seed} "
+                f"--profile {args.profile}`"
+            ),
+        )
+        path = write_corpus(entry, corpus_dir)
+        verdict = failure.crash or "; ".join(
+            str(v) for v in failure.violations
+        )
+        print(f"  {policy:<10} FAIL after {len(failure.stimulus.ops)} ops")
+        print(f"    {verdict}")
+        print(f"    counterexample written to {path}")
+
+    if not args.no_differential:
+        stimulus = random_stimulus(args.seed)
+        diff = differential_check(stimulus.ops, seed=args.seed, policies=policies)
+        if diff.clean:
+            print(
+                f"  differential ok  ({len(stimulus.ops)} shared ops, "
+                f"{len(policies)} policies agree on conservation)"
+            )
+        else:
+            findings += 1
+            print("  differential FAIL")
+            for line in diff.describe().splitlines():
+                print(f"    {line}")
+
+    if findings:
+        print(f"fuzz: {findings} finding(s)")
+        return 1
+    print("fuzz: clean")
+    return 0
+
+
 def cmd_replay(args: argparse.Namespace, sanitizer=None) -> str:
     """Time-travel a snapshot: replay it to ``--until`` (or the end).
 
@@ -501,6 +622,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "fuzz":
+        return cmd_fuzz(args)
     sanitizer = _sanitizer(args)
     if args.command == "speedups":
         print(fig3.render())

@@ -67,6 +67,20 @@ def default_span(job: Job, cluster: ClusterSpec) -> int:
     )
 
 
+class _DefaultSpan:
+    """Picklable form of :func:`default_span` bound to one cluster.
+
+    A lambda closure would make the coordinator — and therefore any
+    checkpoint of a cluster session — unpicklable.
+    """
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        self.cluster = cluster
+
+    def __call__(self, job: Job) -> int:
+        return default_span(job, self.cluster)
+
+
 class ClusterCoordinator(RuntimeHost):
     """PDPA-style coordinated scheduler for a cluster of SMPs.
 
@@ -89,7 +103,7 @@ class ClusterCoordinator(RuntimeHost):
         self.streams = streams
         self.params = params or PDPAParams()
         self.runtime_config = runtime_config or RuntimeConfig()
-        self._span_of = span_of or (lambda job: default_span(job, cluster))
+        self._span_of = span_of or _DefaultSpan(cluster)
         self.traces: List[TraceRecorder] = [
             TraceRecorder(cluster.cpus_per_node) for _ in range(cluster.n_nodes)
         ]

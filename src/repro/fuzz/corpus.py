@@ -1,0 +1,183 @@
+"""The replayable failure corpus.
+
+Every counterexample the fuzzer shrinks is written as one JSON file
+under ``tests/fuzz_corpus/``: the policy, the seed, the minimal op
+list, and the violations it provoked.  Corpus files are deterministic
+regressions — replaying one rebuilds a fresh target, interprets the
+recorded ops with the same deterministic guards, and audits the oracle
+after every op; a fixed bug stays fixed when its corpus file replays
+clean.
+
+Replay comes in two flavours:
+
+* **pure** — ops against the live graph only;
+* **via checkpoint** — a full save/audit/restore round trip is
+  interleaved after every recorded op (the PR 5 machinery), proving
+  the failure reproduces through the serialization boundary and that
+  the two replays agree byte-for-byte on the final fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.fuzz.oracle import LiveOracle, final_audit
+from repro.fuzz.stimulus import Stimulus, apply_op
+from repro.fuzz.targets import FuzzTarget
+from repro.validate import Violation
+
+#: default corpus directory, relative to the repository root
+CORPUS_DIR = Path("tests") / "fuzz_corpus"
+
+
+@dataclass
+class CorpusEntry:
+    """One corpus file: a stimulus plus the verdict it provoked."""
+
+    stimulus: Stimulus
+    violations: List[Dict[str, str]] = field(default_factory=list)
+    crash: Optional[str] = None
+    note: str = ""
+
+    @property
+    def codes(self) -> List[str]:
+        """Violation codes, sorted and deduplicated."""
+        codes = {v["code"] for v in self.violations}
+        if self.crash is not None:
+            codes.add("harness-crash")
+        return sorted(codes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = self.stimulus.to_dict()
+        data["violations"] = list(self.violations)
+        data["crash"] = self.crash
+        data["note"] = self.note
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CorpusEntry":
+        return cls(
+            stimulus=Stimulus.from_dict(data),
+            violations=[dict(v) for v in data.get("violations", [])],
+            crash=data.get("crash"),
+            note=data.get("note", ""),
+        )
+
+
+def violation_dicts(violations: List[Violation]) -> List[Dict[str, str]]:
+    """Violations as JSON-ready records (code, layer, message)."""
+    return [
+        {"code": v.code, "layer": v.layer, "message": str(v)}
+        for v in violations
+    ]
+
+
+def corpus_filename(entry: CorpusEntry) -> str:
+    """Deterministic filename: policy, leading code, stimulus digest."""
+    codes = entry.codes
+    lead = codes[0] if codes else "clean"
+    digest = hashlib.sha256(
+        entry.stimulus.to_json().encode("utf-8")
+    ).hexdigest()[:12]
+    return f"{entry.stimulus.policy.lower()}-{lead}-{digest}.json"
+
+
+def write_corpus(entry: CorpusEntry, directory: Path = CORPUS_DIR) -> Path:
+    """Write one corpus file; returns its path (stable per stimulus)."""
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / corpus_filename(entry)
+    path.write_text(
+        json.dumps(entry.to_dict(), sort_keys=True, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_corpus(path: Path) -> CorpusEntry:
+    """Read one corpus file back."""
+    return CorpusEntry.from_dict(json.loads(path.read_text(encoding="utf-8")))
+
+
+def corpus_files(directory: Path = CORPUS_DIR) -> List[Path]:
+    """All corpus files, sorted by name (deterministic test order)."""
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one stimulus against a fresh target."""
+
+    violations: List[Violation]
+    crash: Optional[str]
+    ops_applied: int
+    fingerprint: Tuple[Any, ...]
+
+    @property
+    def clean(self) -> bool:
+        """Whether the whole stimulus replayed with a silent oracle."""
+        return not self.violations and self.crash is None
+
+
+def replay_stimulus(
+    stimulus: Stimulus, via_checkpoint: bool = False
+) -> ReplayResult:
+    """Replay *stimulus* from scratch, auditing after every op.
+
+    Stops at the first violation (matching the fuzzer, which raises on
+    the op that broke the invariant).  With *via_checkpoint*, a full
+    checkpoint round trip runs after every recorded op, so the replay
+    crosses the serialization boundary at every step.
+    """
+    with FuzzTarget(stimulus.policy, seed=stimulus.seed) as target:
+        oracle = LiveOracle()
+        applied = 0
+        for op in stimulus.ops:
+            try:
+                violations = apply_op(target, op)
+                violations.extend(oracle.check(target))
+                if not violations and via_checkpoint and op.get("kind") != "checkpoint":
+                    violations.extend(target.checkpoint_roundtrip())
+            except Exception as exc:
+                return ReplayResult(
+                    violations=[],
+                    crash=f"{type(exc).__name__}: {exc}",
+                    ops_applied=applied,
+                    fingerprint=target.fingerprint(),
+                )
+            applied += 1
+            if violations:
+                return ReplayResult(
+                    violations=violations,
+                    crash=None,
+                    ops_applied=applied,
+                    fingerprint=target.fingerprint(),
+                )
+        # The fingerprint is taken before the final audit: finish()
+        # flushes in-progress bursts, which is harvesting, not history.
+        fingerprint = target.fingerprint()
+        try:
+            violations = final_audit(target)
+        except Exception as exc:
+            return ReplayResult(
+                violations=[],
+                crash=f"{type(exc).__name__}: {exc}",
+                ops_applied=applied,
+                fingerprint=fingerprint,
+            )
+        return ReplayResult(
+            violations=violations,
+            crash=None,
+            ops_applied=applied,
+            fingerprint=fingerprint,
+        )
+
+
+def replay_corpus(path: Path, via_checkpoint: bool = False) -> ReplayResult:
+    """Replay one corpus file (see :func:`replay_stimulus`)."""
+    return replay_stimulus(load_corpus(path).stimulus, via_checkpoint=via_checkpoint)

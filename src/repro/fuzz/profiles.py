@@ -1,0 +1,120 @@
+"""Tiered hypothesis profiles shared by the whole test suite.
+
+The suite used to scatter ad-hoc ``@settings(max_examples=N)`` over
+every property test, which made "run the fast version in CI" and "run
+the deep version nightly" impossible without editing files.  Instead,
+property tests now declare a **tier** — how expensive one example is —
+and the active **profile** scales every tier at once:
+
+=============  =========================================  ===========
+tier           meant for                                  dev examples
+=============  =========================================  ===========
+``quick``      slow end-to-end properties                 15
+``slow``       moderately expensive properties            40
+``standard``   ordinary single-run properties             80
+``determinism``cheap pure-function properties             200
+=============  =========================================  ===========
+
+Profiles multiply the tier budgets: ``ci`` ×0.2 (a pull-request gate),
+``dev`` ×1 (the default), ``nightly`` ×5 (the scheduled deep run).
+Select one with ``REPRO_HYPOTHESIS_PROFILE=ci|dev|nightly`` or
+hypothesis's own ``--hypothesis-profile``; the environment variable
+wins because CI sets it globally.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+from hypothesis import HealthCheck, settings
+
+#: profile name -> multiplier over the dev example budgets
+PROFILES: Dict[str, float] = {"ci": 0.2, "dev": 1.0, "nightly": 5.0}
+
+#: tier name -> dev-profile max_examples
+TIER_BUDGETS: Dict[str, int] = {
+    "quick": 15,
+    "slow": 40,
+    "standard": 80,
+    "determinism": 200,
+}
+
+_ENV_VAR = "REPRO_HYPOTHESIS_PROFILE"
+
+#: health checks suppressed suite-wide: examples here are simulations,
+#: so "too slow" and "filtered too much" are budget questions the
+#: tiers already answer, not bugs.
+_SUPPRESSED: Tuple[HealthCheck, ...] = (
+    HealthCheck.too_slow,
+    HealthCheck.data_too_large,
+    HealthCheck.filter_too_much,
+)
+
+
+def active_profile() -> str:
+    """The profile selected by the environment (default ``dev``)."""
+    name = os.environ.get(_ENV_VAR, "dev")
+    if name not in PROFILES:
+        raise ValueError(
+            f"{_ENV_VAR}={name!r} is not a profile; "
+            f"expected one of {sorted(PROFILES)}"
+        )
+    return name
+
+
+def examples_for(tier: str, profile: str) -> int:
+    """Scaled example budget for one tier under one profile."""
+    budget = TIER_BUDGETS[tier] * PROFILES[profile]
+    return max(1, int(round(budget)))
+
+
+def _tier_settings(tier: str, profile: str) -> settings:
+    return settings(
+        max_examples=examples_for(tier, profile),
+        deadline=None,
+        suppress_health_check=_SUPPRESSED,
+    )
+
+
+def register_profiles() -> str:
+    """Register every (profile × tier) with hypothesis; load the active one.
+
+    Returns the active profile name.  Registered names:
+
+    * ``ci`` / ``dev`` / ``nightly`` — the profile at the ``standard``
+      tier (what bare property tests get);
+    * per-tier settings are exposed via :func:`tier_settings`, which
+      reads the active profile at decoration time.
+    """
+    for profile in PROFILES:
+        settings.register_profile(
+            profile, _tier_settings("standard", profile)
+        )
+    active = active_profile()
+    settings.load_profile(active)
+    return active
+
+
+def tier_settings(tier: str) -> settings:
+    """The settings object for *tier* under the active profile.
+
+    Usable directly as a decorator::
+
+        @tier_settings("determinism")
+        @given(...)
+        def test_pure_property(...): ...
+    """
+    if tier not in TIER_BUDGETS:
+        raise ValueError(
+            f"unknown tier {tier!r}; expected one of {sorted(TIER_BUDGETS)}"
+        )
+    return _tier_settings(tier, active_profile())
+
+
+#: fuzz campaign budgets per profile: (max_examples, stateful steps)
+CAMPAIGN_BUDGETS: Dict[str, Tuple[int, int]] = {
+    "ci": (15, 30),
+    "dev": (60, 50),
+    "nightly": (300, 100),
+}

@@ -1,0 +1,199 @@
+"""The hypothesis ``RuleBasedStateMachine`` driving the protocol.
+
+Each rule appends one op to the accumulated stimulus, interprets it
+against the live target, and asserts the full incremental oracle.  On
+a violation the machine records the *minimal* failing stimulus on its
+class — hypothesis replays the shrunk example last, so whatever the
+class holds after the run raised is the shrunk counterexample, ready
+to be written to the corpus (the capture-on-class pattern keeps the
+data reachable even though hypothesis swallows the machine instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List, Optional, Type
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, rule
+
+from repro.fuzz.oracle import LiveOracle
+from repro.fuzz.stimulus import Stimulus, apply_op
+from repro.fuzz.targets import FUZZ_APPS, FUZZ_N_CPUS, FuzzTarget
+from repro.validate import Violation, render_violations
+
+#: time quanta the ``advance`` rule may pick (coarse on purpose:
+#: interesting interleavings come from event interleaving, not from
+#: exotic floats)
+_ADVANCE_CHOICES = (0.5, 1.0, 2.0, 5.0, 10.0)
+
+
+class OracleViolation(AssertionError):
+    """Raised by the state machine when the oracle finds violations."""
+
+    def __init__(self, violations: List[Violation], stimulus: Stimulus) -> None:
+        self.violations = violations
+        self.stimulus = stimulus
+        super().__init__(
+            f"{len(violations)} oracle violation(s) after "
+            f"{len(stimulus.ops)} ops under {stimulus.policy}:\n"
+            f"{render_violations(violations)}"
+        )
+
+
+@dataclass
+class FailureRecord:
+    """The (shrunk) stimulus that broke an invariant, plus the verdict."""
+
+    stimulus: Stimulus
+    violations: List[Violation] = field(default_factory=list)
+    #: exception text when the harness crashed instead of the oracle
+    #: failing (still a finding — the protocol raised mid-transition)
+    crash: Optional[str] = None
+
+
+class ProtocolFuzz(RuleBasedStateMachine):
+    """Arbitrary interleavings of the coordination protocol's surface.
+
+    Subclasses produced by :func:`machine_for` pin ``policy`` and
+    ``seed_value``; the base class holds the rules, which hypothesis
+    collects across the hierarchy.
+    """
+
+    #: pinned by machine_for
+    policy: ClassVar[str] = ""
+    seed_value: ClassVar[int] = 0
+    #: the last failure seen by any instance of this class; after a
+    #: failed run this holds the minimal shrunk example
+    captured: ClassVar[Optional[FailureRecord]] = None
+
+    def __init__(self) -> None:
+        super().__init__()
+        if not self.policy:
+            raise TypeError("use machine_for(policy, seed), not ProtocolFuzz")
+        self.target = FuzzTarget(self.policy, seed=self.seed_value)
+        self.oracle = LiveOracle()
+        self.ops: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # the one checked transition
+    # ------------------------------------------------------------------
+    def _apply(self, op: Dict[str, Any]) -> None:
+        self.ops.append(op)
+        try:
+            violations = apply_op(self.target, op)
+            violations.extend(self.oracle.check(self.target))
+        except Exception as exc:
+            if isinstance(exc, OracleViolation):
+                raise
+            type(self).captured = FailureRecord(
+                stimulus=self._stimulus(),
+                crash=f"{type(exc).__name__}: {exc}",
+            )
+            raise
+        if violations:
+            type(self).captured = FailureRecord(
+                stimulus=self._stimulus(), violations=violations
+            )
+            raise OracleViolation(violations, self._stimulus())
+
+    def _stimulus(self) -> Stimulus:
+        return Stimulus(
+            policy=self.policy, seed=self.seed_value, ops=list(self.ops)
+        )
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+    @rule(
+        app=st.sampled_from(sorted(FUZZ_APPS)),
+        request=st.integers(min_value=1, max_value=FUZZ_N_CPUS),
+    )
+    def submit(self, app: str, request: int) -> None:
+        """A job arrives now."""
+        self._apply({"kind": "submit", "app": app, "request": request})
+
+    @rule(n=st.integers(min_value=1, max_value=50))
+    def step(self, n: int) -> None:
+        """Fire up to *n* events (iteration completions, arrivals...)."""
+        self._apply({"kind": "step", "n": n})
+
+    @rule(dt=st.sampled_from(_ADVANCE_CHOICES))
+    def advance(self, dt: float) -> None:
+        """Run *dt* simulated seconds forward."""
+        self._apply({"kind": "advance", "dt": dt})
+
+    @rule(
+        cpu=st.integers(min_value=0, max_value=FUZZ_N_CPUS - 1),
+        transient=st.booleans(),
+    )
+    def cpu_fail(self, cpu: int, transient: bool) -> None:
+        """A CPU goes offline under a running workload."""
+        self._apply({"kind": "cpu_fail", "cpu": cpu, "transient": transient})
+
+    @rule(cpu=st.integers(min_value=0, max_value=FUZZ_N_CPUS - 1))
+    def cpu_repair(self, cpu: int) -> None:
+        """A failed CPU is repaired (possibly concurrently with work)."""
+        self._apply({"kind": "cpu_repair", "cpu": cpu})
+
+    @rule(victim=st.integers(min_value=0, max_value=7))
+    def crash(self, victim: int) -> None:
+        """A running application crashes and is torn down."""
+        self._apply({"kind": "crash", "victim": victim})
+
+    @rule(
+        victim=st.integers(min_value=0, max_value=7),
+        procs=st.integers(min_value=1, max_value=FUZZ_N_CPUS),
+    )
+    def force(self, victim: int, procs: int) -> None:
+        """Graceful degradation imposes an allocation outside the policy."""
+        self._apply({"kind": "force", "victim": victim, "procs": procs})
+
+    @rule()
+    def checkpoint(self) -> None:
+        """Save/audit/restore at this cut point; continue on the restored graph."""
+        self._apply({"kind": "checkpoint"})
+
+    # ------------------------------------------------------------------
+    # end of every example: the run must be completable
+    # ------------------------------------------------------------------
+    def teardown(self) -> None:
+        try:
+            self._apply({"kind": "drain"})
+            self._final_audit()
+        finally:
+            self.target.close()
+
+    def _final_audit(self) -> None:
+        """After the drain the run must be finishable and fully valid."""
+        from repro.fuzz.oracle import final_audit
+
+        try:
+            problems = final_audit(self.target)
+        except Exception as exc:
+            type(self).captured = FailureRecord(
+                stimulus=self._stimulus(),
+                crash=f"{type(exc).__name__}: {exc}",
+            )
+            raise
+        if problems:
+            type(self).captured = FailureRecord(
+                stimulus=self._stimulus(), violations=problems
+            )
+            raise OracleViolation(problems, self._stimulus())
+
+
+def machine_for(policy: str, seed: int) -> Type[ProtocolFuzz]:
+    """A seeded state-machine class fuzzing *policy*.
+
+    Setting ``_hypothesis_internal_use_seed`` is what ``@seed(N)``
+    does; it pins hypothesis's randomness so the same (policy, seed)
+    explores the same rule sequences and reaches the same verdict.
+    """
+    namespace = {
+        "policy": policy,
+        "seed_value": seed,
+        "captured": None,
+        "_hypothesis_internal_use_seed": seed,
+    }
+    return type(f"ProtocolFuzz_{policy}_{seed}", (ProtocolFuzz,), namespace)

@@ -11,7 +11,7 @@ stable (few migrations, long bursts; see Table 2 of the paper).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Any, Dict, Iterable, List, Optional, Set
 
 from repro.machine.cpu import CpuHealth, CpuState
 from repro.machine.topology import NumaTopology
@@ -70,6 +70,29 @@ class Machine:
         self._node_of: List[int] = [
             self.topology.node_of(i) for i in range(n_cpus)
         ]
+
+    # ------------------------------------------------------------------
+    # pickling: canonical form for the set-valued books
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        # Small-int sets iterate in insertion-history order (hash-slot
+        # collisions resolve by arrival), so pickling them directly
+        # makes snapshot bytes depend on how a partition was assembled
+        # and breaks the checkpoint layer's save→restore→save
+        # fixed-point contract.  Sorted lists are the canonical form.
+        state = dict(self.__dict__)
+        state["_free"] = sorted(self._free)
+        state["_partitions"] = {
+            job: sorted(cpus) for job, cpus in self._partitions.items()
+        }
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        state["_free"] = set(state["_free"])
+        state["_partitions"] = {
+            job: set(cpus) for job, cpus in state["_partitions"].items()
+        }
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # queries

@@ -91,6 +91,25 @@ class NanosQS:
                 label=f"submit:{job.job_id}",
             )
 
+    def submit(self, job: Job) -> None:
+        """Dynamically submit one more job (fuzzing / interactive use).
+
+        Registers the job and schedules its arrival exactly as
+        :meth:`schedule_submissions` does for the static list.  The
+        job's ``submit_time`` must not lie in the simulated past, and
+        its id must be unique — the accounting invariants (one job,
+        one terminal state) rely on ids as identity.
+        """
+        if any(existing.job_id == job.job_id for existing in self.jobs):
+            raise ValueError(f"duplicate job id {job.job_id}")
+        self.jobs.append(job)
+        self.sim.schedule_at(
+            job.submit_time,
+            self._on_arrival,
+            job,
+            label=f"submit:{job.job_id}",
+        )
+
     def _on_arrival(self, job: Job) -> None:
         self.queue.append(job)
         self._sample_mpl()

@@ -29,7 +29,7 @@ every ~quarter-second quantum individually would add nothing but heat).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Any, Dict, Optional, Set
 
 from repro.metrics.trace import TraceRecorder
 from repro.qs.job import Job
@@ -123,6 +123,18 @@ class IrixResourceManager(BaseResourceManager):
         #: CPUs currently failed (the time-sharing model has no
         #: per-CPU placement, so a set of ids is all we need)
         self._offline: Set[int] = set()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Sorted canonical form: set iteration order depends on
+        # insertion history, and snapshot bytes must not (see
+        # Machine.__getstate__).
+        state = dict(self.__dict__)
+        state["_offline"] = sorted(self._offline)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        state["_offline"] = set(state["_offline"])
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # admission: fixed multiprogramming level, no coordination

@@ -350,6 +350,17 @@ class Simulator:
         """Number of live events still queued."""
         return len(self._queue)
 
+    def live_labels(self) -> List[str]:
+        """Labels of every live (pending) event, sorted.
+
+        Diagnostics surface: the invariant oracle uses this to tell a
+        queued job with a pending arrival/requeue event from a lost
+        one, without popping anything.
+        """
+        return sorted(
+            event.label for event in self._queue._heap if not event._cancelled
+        )
+
     def schedule_at(
         self,
         time: float,
@@ -496,6 +507,41 @@ class Simulator:
         assert hook is not None
         hook()
         self._arm_checkpoint()
+
+    def step(self, n_events: int = 1) -> int:
+        """Fire up to *n_events* pending events; return the number fired.
+
+        The single-event sibling of :meth:`run`: the protocol fuzzer
+        (and any interactive driver) interleaves external stimuli with
+        bounded slices of simulation progress.  Semantics match the run
+        loop exactly — observer notification before each callback, the
+        checkpoint hook between events — so a run advanced entirely
+        through ``step`` is byte-identical to one driven by ``run``.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        if n_events < 0:
+            raise SimulationError(f"n_events must be >= 0, got {n_events}")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        queue = self._queue
+        try:
+            while fired < n_events and not self._stopped:
+                event = queue.pop_before(None)
+                if event is None:
+                    break
+                self._now = event.time
+                self._events_fired += 1
+                fired += 1
+                if self._observer is not None:
+                    self._observer.on_event(event)
+                event.callback(*event.args)
+                if self._ckpt_hook is not None:
+                    self._checkpoint_tick()
+        finally:
+            self._running = False
+        return fired
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the queue drains, *until* passes, or stop().

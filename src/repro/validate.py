@@ -47,13 +47,103 @@ invariant failures like any other, via :func:`validate_race`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import RunOutput
 from repro.qs.job import JobState
 
 #: tolerance for floating-point time comparisons
 _EPS = 1e-6
+
+#: canonical layer order; every validator sorts its output by this,
+#: so the same violations always render in the same sequence (race
+#: findings come last — they are the report footer).
+LAYER_ORDER: Tuple[str, ...] = (
+    "job", "trace", "alloc", "fault", "sweep", "checkpoint", "race",
+)
+
+
+class Violation(str):
+    """One invariant violation: a message with (code, layer) identity.
+
+    A ``str`` subclass, so every existing consumer — ``== []`` checks,
+    substring matching, ``"\\n".join`` — keeps working unchanged,
+    while the fuzzer, the CLI and the completeness tests can dispatch
+    on the stable ``code`` instead of parsing prose.
+    """
+
+    __slots__ = ("code", "layer")
+
+    code: str
+    layer: str
+
+    def __new__(cls, code: str, layer: str, message: str) -> "Violation":
+        if layer not in LAYER_ORDER:
+            raise ValueError(f"unknown violation layer {layer!r}")
+        self = super().__new__(cls, message)
+        self.code = code
+        self.layer = layer
+        return self
+
+    @property
+    def message(self) -> str:
+        """The human-readable text (the string value itself)."""
+        return str(self)
+
+    def render(self) -> str:
+        """Canonical one-line rendering: ``[layer/code] message``."""
+        return f"[{self.layer}/{self.code}] {self}"
+
+
+def render_violations(problems: Iterable[str]) -> str:
+    """Render violations one per line, identically on every surface.
+
+    Plain strings (legacy producers) render as-is; :class:`Violation`
+    records render through :meth:`Violation.render`.
+    """
+    return "\n".join(
+        p.render() if isinstance(p, Violation) else str(p) for p in problems
+    )
+
+
+def _ordered(problems: List[str]) -> List[str]:
+    """Deterministic order: by (layer, code), stable within a group."""
+    def sort_key(item: Tuple[int, str]) -> Tuple[int, str, int]:
+        index, problem = item
+        if isinstance(problem, Violation):
+            return (LAYER_ORDER.index(problem.layer), problem.code, index)
+        return (len(LAYER_ORDER), "", index)
+    return [p for _, p in sorted(enumerate(problems), key=sort_key)]
+
+
+#: Violation codes each entry point can emit.  The fuzz oracle's
+#: parity map must cover every one of these (enforced by a
+#: completeness test), so the post-hoc validators and the mid-run
+#: oracle cannot drift apart.
+RUN_CHECK_CODES: Tuple[str, ...] = (
+    "job-accounting",
+    "burst-sanity",
+    "capacity",
+    "trace-consistency",
+    "realloc-chain",
+    "fault-offline-overlap",
+    "fault-capacity",
+    "fault-requeue-terminal",
+    "race-ambiguous",
+)
+SWEEP_CHECK_CODES: Tuple[str, ...] = (
+    "sweep-lost-cell",
+    "sweep-stats-balance",
+    "sweep-journal",
+    "race-ambiguous",
+)
+CHECKPOINT_CHECK_CODES: Tuple[str, ...] = (
+    "ckpt-envelope",
+    "ckpt-restore",
+    "ckpt-meta",
+    "ckpt-compaction",
+    "ckpt-wedged",
+)
 
 
 def validate_race(race) -> List[str]:
@@ -69,7 +159,7 @@ def validate_race(race) -> List[str]:
         return []
     stats = race.finish() if hasattr(race, "finish") else race
     return [
-        f"event race: {finding.describe()}"
+        Violation("race-ambiguous", "race", f"event race: {finding.describe()}")
         for finding in stats.error_findings
     ]
 
@@ -89,7 +179,7 @@ def validate_run(out: RunOutput, race=None) -> List[str]:
     problems.extend(_check_reallocation_chains(out))
     problems.extend(_check_fault_invariants(out))
     problems.extend(validate_race(race))
-    return problems
+    return _ordered(problems)
 
 
 def assert_valid(out: RunOutput, race=None) -> None:
@@ -97,7 +187,8 @@ def assert_valid(out: RunOutput, race=None) -> None:
     problems = validate_run(out, race=race)
     if problems:
         raise AssertionError(
-            f"{len(problems)} invariant violation(s):\n" + "\n".join(problems)
+            f"{len(problems)} invariant violation(s):\n"
+            + render_violations(problems)
         )
 
 
@@ -128,22 +219,30 @@ def validate_sweep(
     quarantined_keys = {f.key for f in stats.failures}
     for cell, payload in zip(cells, payloads):
         if payload is None and cell.key not in quarantined_keys:
-            problems.append(f"cell {cell.key!r}: lost (no payload, not quarantined)")
+            problems.append(Violation(
+                "sweep-lost-cell", "sweep",
+                f"cell {cell.key!r}: lost (no payload, not quarantined)",
+            ))
         if payload is not None and cell.key in quarantined_keys:
-            problems.append(f"cell {cell.key!r}: both quarantined and completed")
+            problems.append(Violation(
+                "sweep-lost-cell", "sweep",
+                f"cell {cell.key!r}: both quarantined and completed",
+            ))
     if len(payloads) != len(cells):
-        problems.append(
-            f"payload count {len(payloads)} != cell count {len(cells)}"
-        )
+        problems.append(Violation(
+            "sweep-lost-cell", "sweep",
+            f"payload count {len(payloads)} != cell count {len(cells)}",
+        ))
 
     # 2. The books must balance.
     accounted = stats.cache_hits + stats.resumed + stats.executed + stats.quarantined
     if accounted != stats.cells:
-        problems.append(
+        problems.append(Violation(
+            "sweep-stats-balance", "sweep",
             f"stats unbalanced: hits {stats.cache_hits} + resumed "
             f"{stats.resumed} + executed {stats.executed} + quarantined "
-            f"{stats.quarantined} != cells {stats.cells}"
-        )
+            f"{stats.quarantined} != cells {stats.cells}",
+        ))
 
     # 3. Journal: every completed cell journalled, every digest honest.
     journal = getattr(runner, "journal", None)
@@ -154,18 +253,22 @@ def validate_sweep(
             key = cell_key(cell.fn, cell.params)
             entry = journal.get(key)
             if entry is None:
-                problems.append(f"cell {cell.key!r}: completed but not journalled")
+                problems.append(Violation(
+                    "sweep-journal", "sweep",
+                    f"cell {cell.key!r}: completed but not journalled",
+                ))
             elif not entry.matches(payload):
-                problems.append(
+                problems.append(Violation(
+                    "sweep-journal", "sweep",
                     f"cell {cell.key!r}: journal digest {entry.digest[:12]}… "
                     f"does not match payload digest "
-                    f"{payload_digest(payload)[:12]}…"
-                )
+                    f"{payload_digest(payload)[:12]}…",
+                ))
 
     # 4. Report footer: determinism-sanitizer findings, if a detector
     #    observed the in-process runs around this sweep.
     problems.extend(validate_race(race))
-    return problems
+    return _ordered(problems)
 
 
 def validate_checkpoint(path, expected_config=None) -> List[str]:
@@ -186,11 +289,15 @@ def validate_checkpoint(path, expected_config=None) -> List[str]:
     try:
         meta, _ = read_snapshot(path)
     except CheckpointError as exc:
-        return [f"envelope ({exc.kind}): {exc}"]
+        return [Violation(
+            "ckpt-envelope", "checkpoint", f"envelope ({exc.kind}): {exc}"
+        )]
     try:
         session = SimulationSession.restore(path, expected_config=expected_config)
     except CheckpointError as exc:
-        return [f"restore ({exc.kind}): {exc}"]
+        return [Violation(
+            "ckpt-restore", "checkpoint", f"restore ({exc.kind}): {exc}"
+        )]
 
     problems: List[str] = []
     sim = session.sim
@@ -204,26 +311,32 @@ def validate_checkpoint(path, expected_config=None) -> List[str]:
         ("seed", session.config.seed),
     ):
         if meta.get(field) != actual:
-            problems.append(
+            problems.append(Violation(
+                "ckpt-meta", "checkpoint",
                 f"meta {field} {meta.get(field)!r} does not describe the "
-                f"restored graph ({actual!r})"
-            )
+                f"restored graph ({actual!r})",
+            ))
     pending_before = sim.pending_events
     try:
         sim.compact()
     except Exception as exc:  # SimulationError: _live invariant broken
-        problems.append(f"event-queue compaction invariant: {exc}")
+        problems.append(Violation(
+            "ckpt-compaction", "checkpoint",
+            f"event-queue compaction invariant: {exc}",
+        ))
     else:
         if sim.pending_events != pending_before:
-            problems.append(
+            problems.append(Violation(
+                "ckpt-compaction", "checkpoint",
                 f"compaction changed the live event count "
-                f"({pending_before} -> {sim.pending_events})"
-            )
+                f"({pending_before} -> {sim.pending_events})",
+            ))
     if meta.get("pending_events") == 0 and not session.complete:
-        problems.append(
-            "no pending events but the run is not complete (wedged graph)"
-        )
-    return problems
+        problems.append(Violation(
+            "ckpt-wedged", "checkpoint",
+            "no pending events but the run is not complete (wedged graph)",
+        ))
+    return _ordered(problems)
 
 
 def assert_sweep_valid(runner, cells, payloads, race=None) -> None:
@@ -232,7 +345,7 @@ def assert_sweep_valid(runner, cells, payloads, race=None) -> None:
     if problems:
         raise AssertionError(
             f"{len(problems)} sweep invariant violation(s):\n"
-            + "\n".join(problems)
+            + render_violations(problems)
         )
 
 
@@ -240,17 +353,19 @@ def _check_job_accounting(out: RunOutput) -> List[str]:
     problems = []
     for record in out.result.records:
         if not (record.submit_time - _EPS <= record.start_time <= record.end_time + _EPS):
-            problems.append(
+            problems.append(Violation(
+                "job-accounting", "job",
                 f"job {record.job_id}: times out of order "
                 f"(submit {record.submit_time}, start {record.start_time}, "
-                f"end {record.end_time})"
-            )
+                f"end {record.end_time})",
+            ))
         recomposed = record.wait_time + record.execution_time
         if abs(recomposed - record.response_time) > _EPS:
-            problems.append(
+            problems.append(Violation(
+                "job-accounting", "job",
                 f"job {record.job_id}: wait+exec != response "
-                f"({recomposed} != {record.response_time})"
-            )
+                f"({recomposed} != {record.response_time})",
+            ))
     return problems
 
 
@@ -259,17 +374,21 @@ def _check_burst_sanity(out: RunOutput) -> List[str]:
     by_cpu = {}
     for burst in out.trace.bursts:
         if burst.duration <= 0:
-            problems.append(f"cpu {burst.cpu}: non-positive burst {burst}")
+            problems.append(Violation(
+                "burst-sanity", "trace",
+                f"cpu {burst.cpu}: non-positive burst {burst}",
+            ))
         by_cpu.setdefault(burst.cpu, []).append(burst)
-    for cpu, bursts in by_cpu.items():
+    for cpu, bursts in sorted(by_cpu.items()):
         bursts.sort(key=lambda b: b.start)
         for a, b in zip(bursts, bursts[1:]):
             if b.start < a.end - _EPS:
-                problems.append(
+                problems.append(Violation(
+                    "burst-sanity", "trace",
                     f"cpu {cpu}: overlapping bursts "
                     f"[{a.start:.3f},{a.end:.3f}] ({a.app_name}) and "
-                    f"[{b.start:.3f},{b.end:.3f}] ({b.app_name})"
-                )
+                    f"[{b.start:.3f},{b.end:.3f}] ({b.app_name})",
+                ))
     return problems
 
 
@@ -286,8 +405,11 @@ def _check_capacity(out: RunOutput) -> List[str]:
         live += delta
         peak = max(peak, live)
     if peak > out.trace.n_cpus:
-        return [f"capacity exceeded: {peak} concurrent bursts on "
-                f"{out.trace.n_cpus} CPUs"]
+        return [Violation(
+            "capacity", "trace",
+            f"capacity exceeded: {peak} concurrent bursts on "
+            f"{out.trace.n_cpus} CPUs",
+        )]
     return []
 
 
@@ -303,10 +425,11 @@ def _check_trace_consistency(out: RunOutput) -> List[str]:
             continue  # e.g. ablation jobs not in records
         start, end = window
         if burst.start < start - _EPS or burst.end > end + _EPS:
-            problems.append(
+            problems.append(Violation(
+                "trace-consistency", "trace",
                 f"job {burst.job_id}: burst [{burst.start:.3f},{burst.end:.3f}] "
-                f"outside its execution window [{start:.3f},{end:.3f}]"
-            )
+                f"outside its execution window [{start:.3f},{end:.3f}]",
+            ))
     return problems
 
 
@@ -321,28 +444,42 @@ def _check_reallocation_chains(out: RunOutput) -> List[str]:
     for fault in out.trace.faults:
         if fault.kind == "job_kill":
             kills.setdefault(fault.target, []).append(fault.time)
-    for job_id, chain in by_job.items():
+    for job_id, chain in sorted(by_job.items()):
         kill_times = sorted(kills.get(job_id, []))
         expected = 0
         next_kill = 0
         for record in chain:
+            # Kills strictly before this record definitely reset the
+            # chain.  A kill at the *same* timestamp is ambiguous in
+            # the flat record streams — a job can start, be killed and
+            # restart within one simulated instant — so a tied kill is
+            # consumed lazily, only when it is the explanation for a
+            # restart (old_procs == 0) the chain would otherwise
+            # reject.
             while (next_kill < len(kill_times)
-                   and kill_times[next_kill] <= record.time + _EPS):
+                   and kill_times[next_kill] < record.time - _EPS):
                 expected = 0
                 next_kill += 1
             if record.old_procs != expected:
-                problems.append(
-                    f"job {job_id}: reallocation chain broken at "
-                    f"t={record.time:.3f} (expected old={expected}, "
-                    f"recorded old={record.old_procs})"
-                )
+                if (record.old_procs == 0
+                        and next_kill < len(kill_times)
+                        and kill_times[next_kill] <= record.time + _EPS):
+                    next_kill += 1
+                else:
+                    problems.append(Violation(
+                        "realloc-chain", "alloc",
+                        f"job {job_id}: reallocation chain broken at "
+                        f"t={record.time:.3f} (expected old={expected}, "
+                        f"recorded old={record.old_procs})",
+                    ))
             expected = record.new_procs
         for record in chain:
             if record.new_procs < 1:
-                problems.append(
+                problems.append(Violation(
+                    "realloc-chain", "alloc",
                     f"job {job_id}: allocated {record.new_procs} CPUs at "
-                    f"t={record.time:.3f}"
-                )
+                    f"t={record.time:.3f}",
+                ))
     return problems
 
 
@@ -360,11 +497,12 @@ def _check_fault_invariants(out: RunOutput) -> List[str]:
     for burst in out.trace.bursts:
         for t0, t1 in down.get(burst.cpu, ()):
             if burst.start < t1 - _EPS and burst.end > t0 + _EPS:
-                problems.append(
+                problems.append(Violation(
+                    "fault-offline-overlap", "fault",
                     f"cpu {burst.cpu}: burst [{burst.start:.3f},{burst.end:.3f}] "
                     f"({burst.app_name}) overlaps offline window "
-                    f"[{t0:.3f},{t1:.3f}]"
-                )
+                    f"[{t0:.3f},{t1:.3f}]",
+                ))
 
     # 2. Concurrent bursts never exceed the healthy capacity of the
     #    moment.  At equal times: burst ends, then capacity changes,
@@ -394,10 +532,11 @@ def _check_fault_invariants(out: RunOutput) -> List[str]:
         else:
             live += 1
         if live > capacity:
-            problems.append(
+            problems.append(Violation(
+                "fault-capacity", "fault",
                 f"healthy capacity exceeded at t={time:.3f}: "
-                f"{live} concurrent bursts on {capacity} healthy CPUs"
-            )
+                f"{live} concurrent bursts on {capacity} healthy CPUs",
+            ))
             break
 
     # 3. Every requeued job must reach a terminal state.
@@ -407,8 +546,9 @@ def _check_fault_invariants(out: RunOutput) -> List[str]:
             continue
         state = states.get(fault.target)
         if state not in (JobState.DONE, JobState.FAILED):
-            problems.append(
+            problems.append(Violation(
+                "fault-requeue-terminal", "fault",
                 f"job {fault.target}: requeued at t={fault.time:.3f} but "
-                f"ended in state {state}"
-            )
+                f"ended in state {state}",
+            ))
     return problems

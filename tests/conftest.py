@@ -1,4 +1,10 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite.
+
+Property tests declare a *tier* (``quick`` / ``slow`` / ``standard`` /
+``determinism``) via :func:`repro.fuzz.profiles.tier_settings`; the
+active profile (``REPRO_HYPOTHESIS_PROFILE=ci|dev|nightly``, default
+``dev``) scales every tier's example budget at once.
+"""
 
 from __future__ import annotations
 
@@ -8,8 +14,13 @@ from repro.apps.application import AppClass, ApplicationSpec
 from repro.apps.speedup import AmdahlSpeedup, TabulatedSpeedup
 from repro.core.params import PDPAParams
 from repro.experiments.common import ExperimentConfig
+from repro.fuzz.profiles import register_profiles
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
+
+#: registering at import time makes the profile apply to every
+#: @given test in the suite, including ones without an explicit tier
+ACTIVE_PROFILE = register_profiles()
 
 
 @pytest.fixture

@@ -39,9 +39,22 @@ from repro.parallel import (
     SweepRunner,
     cell_key,
 )
+from repro.fuzz.oracle import check_sweep_accounting, check_sweep_journal
 from repro.validate import validate_sweep
 
 pytestmark = pytest.mark.chaos
+
+
+def _sweep_oracle(runner, cells, payloads):
+    """The incremental sweep oracle as a post-step assertion.
+
+    Runs the same checks the fuzzer's live oracle applies mid-sweep;
+    agreement with ``validate_sweep`` here is the in-practice half of
+    the oracle-parity contract.
+    """
+    problems = check_sweep_accounting(runner.last_stats, cells, payloads)
+    problems += check_sweep_journal(runner, cells, payloads)
+    return problems
 
 #: generous per-cell timeout for well-behaved cells; tight for sleepers
 POLICY = SupervisionPolicy(timeout=30.0, retries=2,
@@ -94,6 +107,7 @@ class TestWorkerKilledMidSweep:
         assert survivors == clean
         assert payloads[2] is None
         assert validate_sweep(runner, cells, payloads) == []
+        assert _sweep_oracle(runner, cells, payloads) == []
 
     def test_pool_rebuilt_repeatedly_under_multiple_breaks(self, artifact_dir):
         # Two separate killers: each must be isolated and quarantined
@@ -112,6 +126,7 @@ class TestWorkerKilledMidSweep:
         assert {f.key for f in stats.failures} == {"killer-a", "killer-b"}
         assert sum(p is not None for p in payloads) == 6
         assert validate_sweep(runner, cells, payloads) == []
+        assert _sweep_oracle(runner, cells, payloads) == []
 
 
 class TestHungCell:
@@ -135,6 +150,7 @@ class TestHungCell:
         # 60 s the cell wanted to hold a worker hostage for.
         assert elapsed < 20.0
         assert validate_sweep(runner, cells, payloads) == []
+        assert _sweep_oracle(runner, cells, payloads) == []
 
 
 class TestCorruptedCacheMidSweep:
@@ -157,6 +173,7 @@ class TestCorruptedCacheMidSweep:
         assert runner.last_stats.quarantined == 0
         assert cache.corrupt_detected == 3  # incl. the spliced entry
         assert validate_sweep(runner, cells, payloads) == []
+        assert _sweep_oracle(runner, cells, payloads) == []
 
 
 class TestResumeAfterParentKill:
@@ -229,6 +246,7 @@ class TestResumeAfterParentKill:
         assert stats.executed <= 6 - completed
         assert stats.executed >= 1
         assert validate_sweep(runner, cells, payloads) == []
+        assert _sweep_oracle(runner, cells, payloads) == []
 
     def test_second_resume_is_pure_replay(self, artifact_dir):
         cells = self._cells()
@@ -267,6 +285,7 @@ class TestTornJournal:
         # The torn cell is still in the cache, so nothing re-executes.
         assert runner.last_stats.cache_hits == 1
         assert validate_sweep(runner, cells, payloads) == []
+        assert _sweep_oracle(runner, cells, payloads) == []
 
 
 def _cli_env():
@@ -394,3 +413,4 @@ class TestSigkilledCellResumesFromSnapshot:
         # Consumed on success: no snapshot left behind.
         assert list((artifact_dir / "snapshots").glob("*.ckpt")) == []
         assert validate_sweep(runner, cells, payloads) == []
+        assert _sweep_oracle(runner, cells, payloads) == []

@@ -135,9 +135,11 @@ class TestClusterProperties:
     """Hypothesis: random job streams keep every cluster invariant."""
 
     def test_random_streams_complete_and_coschedule(self, linear_app, flat_app):
-        from hypothesis import given, settings, strategies as st
+        from hypothesis import given, strategies as st
 
-        @settings(max_examples=20, deadline=None)
+        from repro.fuzz.profiles import tier_settings
+
+        @tier_settings("quick")
         @given(
             requests=st.lists(st.integers(1, 24), min_size=1, max_size=8),
             seed=st.integers(0, 3),

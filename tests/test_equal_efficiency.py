@@ -1,7 +1,9 @@
 """Unit tests for the Equal_efficiency policy."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from repro.fuzz.profiles import tier_settings
 
 from repro.qs.job import Job
 from repro.rm.base import JobView, SystemView
@@ -80,7 +82,7 @@ class TestWaterFill:
         with pytest.raises(ValueError):
             water_fill(1, {1: 5, 2: 5}, {})
 
-    @settings(max_examples=80, deadline=None)
+    @tier_settings("standard")
     @given(
         total=st.integers(4, 64),
         jobs=st.dictionaries(

@@ -1,7 +1,9 @@
 """Unit and property tests for the Equipartition policy."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from repro.fuzz.profiles import tier_settings
 
 from repro.qs.job import Job
 from repro.rm.base import JobView, SystemView
@@ -49,7 +51,7 @@ class TestEqualShares:
         with pytest.raises(ValueError):
             equal_shares(2, {1: 5, 2: 5, 3: 5})
 
-    @settings(max_examples=100, deadline=None)
+    @tier_settings("standard")
     @given(
         total=st.integers(4, 128),
         requests=st.dictionaries(st.integers(1, 20), st.integers(1, 64),

@@ -1,7 +1,9 @@
 """Tests for the related-work policies: McCann Dynamic and Batch FCFS."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from repro.fuzz.profiles import tier_settings
 
 from repro.experiments.common import ExperimentConfig, run_jobs_with_policy
 from repro.qs.job import Job
@@ -50,7 +52,7 @@ class TestProportionalShares:
         with pytest.raises(ValueError):
             proportional_shares(1, {1: 2, 2: 2}, {})
 
-    @settings(max_examples=80, deadline=None)
+    @tier_settings("standard")
     @given(
         total=st.integers(4, 80),
         jobs=st.dictionaries(

@@ -1,0 +1,56 @@
+"""Replay the failure corpus: every shrunk counterexample stays fixed.
+
+Each file under ``tests/fuzz_corpus/`` is a minimal stimulus that once
+broke an invariant.  A fixed bug must replay **clean** — both against
+the live graph and through a checkpoint round trip after every op —
+and the two replay modes must agree byte-for-byte on the final
+fingerprint (the serialization boundary is history-transparent).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.corpus import CORPUS_DIR, corpus_files, load_corpus, replay_corpus
+
+CORPUS = corpus_files(CORPUS_DIR)
+
+
+def _corpus_ids():
+    return [path.stem for path in CORPUS]
+
+
+def test_corpus_is_not_empty():
+    # PR 6 seeded the corpus with the fuzzer's first real finding; an
+    # empty directory means the regression files were lost.
+    assert CORPUS, f"no corpus files under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=_corpus_ids())
+def test_corpus_entry_is_well_formed(path):
+    entry = load_corpus(path)
+    assert entry.stimulus.policy
+    assert entry.stimulus.ops
+    assert entry.note, f"{path.name}: corpus files must explain their finding"
+    assert entry.codes, f"{path.name}: corpus files must record a verdict"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=_corpus_ids())
+def test_corpus_replays_clean(path):
+    result = replay_corpus(path)
+    assert result.clean, (
+        f"{path.name} regressed: {result.crash or result.violations}"
+    )
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=_corpus_ids())
+def test_corpus_replays_clean_through_checkpoints(path):
+    pure = replay_corpus(path)
+    via_ckpt = replay_corpus(path, via_checkpoint=True)
+    assert via_ckpt.clean, (
+        f"{path.name} regressed across the serialization boundary: "
+        f"{via_ckpt.crash or via_ckpt.violations}"
+    )
+    assert via_ckpt.fingerprint == pure.fingerprint, (
+        f"{path.name}: checkpointed replay diverged from the pure replay"
+    )

@@ -1,7 +1,9 @@
 """Tests for the gang scheduler (Ousterhout matrix baseline)."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from repro.fuzz.profiles import tier_settings
 
 from repro.qs.job import Job, JobState
 from repro.qs.queuing import NanosQS
@@ -51,7 +53,7 @@ class TestPacking:
         with pytest.raises(ValueError):
             pack_rows({1: 4}, 0)
 
-    @settings(max_examples=60, deadline=None)
+    @tier_settings("standard")
     @given(st.dictionaries(st.integers(1, 20), st.integers(1, 20),
                            min_size=1, max_size=10))
     def test_rows_never_overflow(self, requests):

@@ -1,7 +1,9 @@
 """Tests for MPI+OpenMP hybrid applications (paper §6 extension)."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from repro.fuzz.profiles import tier_settings
 
 from repro.apps.hybrid import (
     HybridSpeedup,
@@ -94,7 +96,7 @@ class TestHybridSpeedup:
         with pytest.raises(ValueError):
             HybridSpeedup([1.0, 0.0], LINEAR)
 
-    @settings(max_examples=60, deadline=None)
+    @tier_settings("standard")
     @given(
         weights=st.lists(st.floats(0.5, 5.0), min_size=1, max_size=6),
         procs=st.integers(1, 48),
@@ -106,7 +108,7 @@ class TestHybridSpeedup:
         uniform = HybridSpeedup(weights, AMDAHL, balanced=False)
         assert balanced.speedup(procs) >= uniform.speedup(procs) - 1e-9
 
-    @settings(max_examples=60, deadline=None)
+    @tier_settings("standard")
     @given(
         weights=st.lists(st.floats(0.5, 5.0), min_size=1, max_size=6),
         procs=st.integers(1, 48),

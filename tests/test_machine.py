@@ -1,7 +1,9 @@
 """Unit and property tests for the machine model."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from repro.fuzz.profiles import tier_settings
 
 from repro.machine.cpu import CpuState
 from repro.machine.machine import Machine, MachineError
@@ -248,7 +250,7 @@ class TestIncrementalBookkeeping:
         with pytest.raises(MachineError):
             machine.check_invariants()
 
-    @settings(max_examples=40, deadline=None)
+    @tier_settings("slow")
     @given(machine_ops_with_faults())
     def test_counters_match_ground_truth_under_random_ops(self, ops):
         machine = Machine(12)
@@ -283,7 +285,7 @@ def machine_ops(draw):
 
 
 class TestMachineInvariants:
-    @settings(max_examples=60, deadline=None)
+    @tier_settings("standard")
     @given(machine_ops())
     def test_partitions_never_overlap_nor_overcommit(self, ops):
         machine = Machine(12)

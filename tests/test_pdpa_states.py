@@ -4,7 +4,9 @@ Each test encodes one rule from the paper's Fig. 2 / §4.2 text.
 """
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from repro.fuzz.profiles import tier_settings
 
 from repro.core.params import PDPAParams
 from repro.core.states import AppState, PdpaJobState, evaluate_transition
@@ -291,7 +293,7 @@ class TestInputValidation:
 
 
 class TestTransitionInvariants:
-    @settings(max_examples=300, deadline=None)
+    @tier_settings("determinism")
     @given(
         allocation=st.integers(1, 60),
         request=st.integers(1, 60),
@@ -319,7 +321,7 @@ class TestTransitionInvariants:
         if t.next_allocation > allocation:
             assert t.next_allocation - allocation <= PARAMS.step
 
-    @settings(max_examples=200, deadline=None)
+    @tier_settings("determinism")
     @given(
         speedup=st.floats(0.01, 80.0),
         allocation=st.integers(2, 60),

@@ -1,7 +1,9 @@
 """Unit and property tests for the Dynamic Periodicity Detector."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from repro.fuzz.profiles import tier_settings
 
 from repro.runtime.periodicity import PeriodicityDetector
 
@@ -82,7 +84,7 @@ class TestDetection:
 
 
 class TestProperties:
-    @settings(max_examples=50, deadline=None)
+    @tier_settings("slow")
     @given(
         pattern=st.lists(st.integers(0, 5), min_size=1, max_size=6),
         repeats=st.integers(4, 8),
@@ -102,7 +104,7 @@ class TestProperties:
             window[i] == window[i + p] for i in range(len(window) - p)
         )
 
-    @settings(max_examples=50, deadline=None)
+    @tier_settings("slow")
     @given(st.lists(st.integers(0, 3), min_size=1, max_size=60))
     def test_observe_never_crashes_and_bounds_memory(self, stream):
         dpd = PeriodicityDetector(max_period=4, confirmations=2)

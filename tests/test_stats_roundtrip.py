@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import math
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from repro.fuzz.profiles import tier_settings
 
 from repro.metrics.stats import JobRecord, WorkloadResult
 from repro.parallel.cache import canonical_dumps
@@ -57,7 +59,7 @@ workload_results = st.builds(
 
 class TestJobRecordRoundTrip:
     @given(record=job_records)
-    @settings(max_examples=200)
+    @tier_settings("determinism")
     def test_to_dict_from_dict_is_identity(self, record):
         clone = JobRecord.from_dict(record.to_dict())
         assert canonical_dumps(clone.to_dict()) == canonical_dumps(
@@ -65,7 +67,7 @@ class TestJobRecordRoundTrip:
         )
 
     @given(record=job_records)
-    @settings(max_examples=100)
+    @tier_settings("standard")
     def test_round_trip_preserves_float_identity(self, record):
         clone = JobRecord.from_dict(record.to_dict())
         for field in ("submit_time", "start_time", "end_time"):
@@ -99,7 +101,7 @@ class TestJobRecordRoundTrip:
 
 class TestWorkloadResultRoundTrip:
     @given(result=workload_results)
-    @settings(max_examples=100, deadline=None)
+    @tier_settings("standard")
     def test_to_dict_from_dict_is_identity(self, result):
         clone = WorkloadResult.from_dict(result.to_dict())
         assert canonical_dumps(clone.to_dict()) == canonical_dumps(
@@ -107,7 +109,7 @@ class TestWorkloadResultRoundTrip:
         )
 
     @given(result=workload_results)
-    @settings(max_examples=50, deadline=None)
+    @tier_settings("slow")
     def test_canonical_payload_is_stable_across_round_trips(self, result):
         # The payload the cache/journal store must be a fixed point:
         # encoding, decoding and re-encoding changes nothing.
@@ -118,7 +120,7 @@ class TestWorkloadResultRoundTrip:
         assert once == twice
 
     @given(result=workload_results)
-    @settings(max_examples=50, deadline=None)
+    @tier_settings("slow")
     def test_records_preserved_in_order(self, result):
         clone = WorkloadResult.from_dict(result.to_dict())
         assert len(clone.records) == len(result.records)

@@ -8,7 +8,9 @@ every policy must run them to completion while satisfying all of
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from repro.fuzz.profiles import tier_settings
 
 from repro.apps.application import AppClass, ApplicationSpec
 from repro.apps.speedup import AmdahlSpeedup, TabulatedSpeedup
@@ -66,11 +68,7 @@ def workloads(draw):
     return jobs
 
 
-@settings(
-    max_examples=25,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
+@tier_settings("slow")
 @given(jobs=workloads(), seed=st.integers(0, 5))
 @pytest.mark.parametrize("policy", ["PDPA", "Equip", "Equal_eff", "IRIX"])
 def test_any_workload_completes_and_validates(policy, jobs, seed):
@@ -97,11 +95,7 @@ def _make_extension_policy(name):
     raise ValueError(name)
 
 
-@settings(
-    max_examples=15,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
+@tier_settings("quick")
 @given(jobs=workloads(), seed=st.integers(0, 3))
 @pytest.mark.parametrize("policy_name", ["Dynamic", "Batch", "DynTarget"])
 def test_extension_policies_complete_and_validate(policy_name, jobs, seed):
@@ -115,8 +109,7 @@ def test_extension_policies_complete_and_validate(policy_name, jobs, seed):
     assert problems == [], f"{policy_name}: {problems}"
 
 
-@settings(max_examples=15, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
+@tier_settings("quick")
 @given(jobs=workloads())
 def test_pdpa_deterministic_across_replays(jobs):
     def replay():
@@ -127,8 +120,7 @@ def test_pdpa_deterministic_across_replays(jobs):
     assert replay() == replay()
 
 
-@settings(max_examples=15, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
+@tier_settings("quick")
 @given(jobs=workloads(), seed=st.integers(0, 3))
 def test_pdpa_allocations_never_exceed_requests(jobs, seed):
     fresh = [Job(j.job_id, j.spec, j.submit_time, j.request) for j in jobs]
