@@ -31,6 +31,9 @@ from repro.parallel import ResultCache, SweepCell, SweepRunner
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
 
+#: Committed hot-path baseline for the CI bench-regression gate.
+BASELINE_PATH = Path(__file__).resolve().parent / "bench_baseline.json"
+
 #: Hot-path timings at the commit *before* this optimization pass
 #: (best-of-5 of the same kernels, same container class).  The
 #: acceptance bar is >= 1.5x over these.
@@ -108,14 +111,31 @@ def _best_of(fn, rounds=5):
 
 
 def test_perf_sweep_parallel_speedup():
-    """Serial vs SweepRunner(jobs=4) on a Fig. 7-scale sweep."""
+    """Serial vs SweepRunner(jobs=N) on a Fig. 7-scale sweep.
+
+    On a single-core container a process pool can only lose (the
+    workers time-share one CPU and pay serialization on top), so the
+    pool measurement is skipped — and recorded as skipped — rather
+    than committing a meaningless "0.94x speedup" to the trajectory.
+    """
     cells = _speedup_cells()
-    jobs = min(4, max(2, multiprocessing.cpu_count()))
+    cores = multiprocessing.cpu_count()
 
     start = time.perf_counter()
     serial_payloads = SweepRunner().run_serialized(cells)
     serial_s = time.perf_counter() - start
 
+    if cores < 2:
+        _record("parallel_speedup", {
+            "cells": len(cells),
+            "serial_s": round(serial_s, 4),
+            "pool_measurement": (
+                "skipped: only 1 core available, a process pool cannot win"
+            ),
+        })
+        pytest.skip("pool speedup needs >= 2 cores")
+
+    jobs = min(4, cores)
     start = time.perf_counter()
     parallel_payloads = SweepRunner(jobs=jobs).run_serialized(cells)
     parallel_s = time.perf_counter() - start
@@ -128,8 +148,10 @@ def test_perf_sweep_parallel_speedup():
         "serial_s": round(serial_s, 4),
         "parallel_s": round(parallel_s, 4),
         "speedup": round(speedup, 2),
+        #: fraction of ideal linear scaling the pool achieved
+        "per_core_scaling": round(speedup / jobs, 2),
     })
-    if multiprocessing.cpu_count() >= 4:
+    if cores >= 4:
         assert speedup >= 2.5, (
             f"parallel sweep speedup {speedup:.2f}x below the 2.5x bar "
             f"({serial_s:.2f}s serial vs {parallel_s:.2f}s with {jobs} jobs)"
@@ -204,4 +226,18 @@ def test_perf_hot_paths_beat_baseline():
     for name, ratio in ratios.items():
         assert ratio >= 1.5, (
             f"{name} is only {ratio:.2f}x over the pre-PR baseline (need 1.5x)"
+        )
+
+    # Regression gate: the committed baseline records what these
+    # kernels cost when the columnar hot core landed; CI fails when a
+    # later change regresses past the tolerance (generous, because CI
+    # containers vary in speed — the gate catches algorithmic
+    # regressions, not scheduler jitter).
+    baseline = json.loads(BASELINE_PATH.read_text())
+    tolerance = baseline["tolerance_factor"]
+    for name, measured in (("full_workload_s", full_s), ("machine_churn_s", churn_s)):
+        ceiling = baseline["hot_paths"][name] * tolerance
+        assert measured <= ceiling, (
+            f"{name} regressed: {measured:.4f}s vs committed baseline "
+            f"{baseline['hot_paths'][name]:.4f}s * {tolerance}x tolerance"
         )

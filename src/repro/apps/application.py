@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.apps.speedup import SpeedupCurve
+from repro.sim.columns import IterationColumns
 
 
 class AppClass(enum.Enum):
@@ -210,8 +211,9 @@ class IterativeApplication:
     completed_iterations: int = 0
     started: bool = False
     finished: bool = False
-    #: history of (iteration_index, procs, duration) for analysis
-    iteration_log: list = field(default_factory=list)
+    #: history of (iteration_index, procs, duration) for analysis,
+    #: held as packed columns (compares equal to a list of tuples)
+    iteration_log: IterationColumns = field(default_factory=IterationColumns)
 
     @property
     def remaining_iterations(self) -> int:

@@ -65,7 +65,8 @@ def balanced_distribution(
         raise ValueError(f"process weights must be positive, got {list(weights)}")
     cpus = [1] * n
     for _ in range(total_cpus - n):
-        times = [weights[i] / inner.speedup(cpus[i]) for i in range(n)]
+        speeds = inner.speedup_many(cpus)
+        times = [weights[i] / speeds[i] for i in range(n)]
         bottleneck = max(range(n), key=lambda i: (times[i], -i))
         cpus[bottleneck] += 1
     return cpus
@@ -77,7 +78,8 @@ def step_time(
     """BSP step time (relative to ``t_seq = 1``) for a distribution."""
     if len(cpus) != len(weights):
         raise ValueError("cpus and weights must have the same length")
-    return max(w / inner.speedup(c) for w, c in zip(weights, cpus))
+    speeds = inner.speedup_many(list(cpus))
+    return max(w / s for w, s in zip(weights, speeds))
 
 
 class HybridSpeedup(SpeedupCurve):

@@ -133,6 +133,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "snapshot instead of starting fresh; refuses "
                             "snapshots from different code, config, "
                             "policy, workload or load")
+    p_run.add_argument("--profile", metavar="FILE",
+                       help="run under cProfile and write cumulative-sorted "
+                            "stats to FILE; the stats carry wall-clock "
+                            "timings and are NOT deterministic, but stdout "
+                            "stays byte-identical to an unprofiled run")
 
     p_cmp = sub.add_parser("compare", help="figure-style policy comparison")
     p_cmp.add_argument("workload", choices=sorted(TABLE1_MIXES))
@@ -342,12 +347,30 @@ def cmd_run(args: argparse.Namespace, sanitizer=None) -> str:
             every_events=cadence[0],
             every_sim_seconds=cadence[1],
         )
+    def _execute():
+        return run_workload(args.policy, args.workload, args.load, config,
+                            sanitizer=sanitizer, checkpoint=plan,
+                            restore=Path(args.restore) if args.restore else None)
+
+    profiler = None
+    if getattr(args, "profile", None):
+        import cProfile
+
+        profiler = cProfile.Profile()
     try:
-        out = run_workload(args.policy, args.workload, args.load, config,
-                           sanitizer=sanitizer, checkpoint=plan,
-                           restore=Path(args.restore) if args.restore else None)
+        out = profiler.runcall(_execute) if profiler is not None else _execute()
     except CheckpointError as exc:
         raise SystemExit(f"error: {exc}")
+    if profiler is not None:
+        # The stats file carries wall-clock timings, so it is outside
+        # the byte-identity contract; the note goes to stderr so stdout
+        # stays byte-identical to an unprofiled run.
+        import pstats
+
+        with open(args.profile, "w", encoding="utf-8") as handle:
+            pstats.Stats(profiler, stream=handle).sort_stats("cumulative").print_stats()
+        print(f"[profile] cumulative-sorted stats written to {args.profile}",
+              file=sys.stderr)
     result = out.result
     rows = []
     for app, summary in sorted(result.by_app().items()):

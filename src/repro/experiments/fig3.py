@@ -18,16 +18,20 @@ DEFAULT_PROCS = (1, 2, 4, 8, 12, 16, 20, 24, 30, 40, 50, 60)
 def speedup_table(procs: Sequence[int] = DEFAULT_PROCS) -> Dict[str, List[float]]:
     """Speedup of each catalog application at the given counts."""
     return {
-        name: [spec.speedup_model.speedup(p) for p in procs]
+        name: spec.speedup_model.speedup_many(list(procs))
         for name, spec in APP_CATALOG.items()
     }
 
 
 def efficiency_table(procs: Sequence[int] = DEFAULT_PROCS) -> Dict[str, List[float]]:
     """Efficiency of each catalog application at the given counts."""
+    tables = speedup_table(procs)
     return {
-        name: [spec.speedup_model.efficiency(p) for p in procs]
-        for name, spec in APP_CATALOG.items()
+        name: [
+            1.0 if p <= 0 else speedup / p
+            for p, speedup in zip(procs, speedups)
+        ]
+        for name, speedups in tables.items()
     }
 
 

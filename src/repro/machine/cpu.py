@@ -5,14 +5,28 @@ ownership changes, the finished interval is emitted as a
 :class:`~repro.metrics.trace.Burst` — the unit from which the paper's
 Table 2 statistics (average burst duration, bursts per CPU) are
 computed.
+
+Since the columnar hot-core refactor the state itself lives in
+:class:`repro.sim.columns.CpuColumns` — packed per-CPU columns shared
+by every CPU of one machine — and :class:`CpuState` is a *view*: a
+(columns, position) handle exposing the same scalar API as before.
+The machine's hot loops bypass the views entirely and call the batched
+column kernels; the views serve the cold paths (fault handling,
+queries, tests) and external readers like the fuzz oracle.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.metrics.trace import Burst, TraceRecorder
+from repro.sim.columns import (
+    HEALTH_DEGRADED,
+    HEALTH_OFFLINE,
+    HEALTH_ONLINE,
+    CpuColumns,
+)
 
 
 class CpuHealth(enum.Enum):
@@ -33,8 +47,30 @@ class CpuHealth(enum.Enum):
         return self.value
 
 
+#: CpuHealth <-> packed int8 column code.
+_HEALTH_CODE = {
+    CpuHealth.ONLINE: HEALTH_ONLINE,
+    CpuHealth.DEGRADED: HEALTH_DEGRADED,
+    CpuHealth.OFFLINE: HEALTH_OFFLINE,
+}
+_HEALTH_FROM_CODE = {code: health for health, code in _HEALTH_CODE.items()}
+
+
+def burst_emitter(
+    trace: Optional[TraceRecorder],
+) -> Optional[Callable[[int, int, str, float, float], None]]:
+    """Adapt a trace recorder to the column kernels' emit callback."""
+    if trace is None:
+        return None
+
+    def emit(cpu: int, job_id: int, app_name: str, start: float, end: float) -> None:
+        trace.record_burst(Burst(cpu, job_id, app_name, start, end))
+
+    return emit
+
+
 class CpuState:
-    """Ownership state of one CPU.
+    """Ownership view of one CPU inside a :class:`CpuColumns` store.
 
     Attributes
     ----------
@@ -44,29 +80,79 @@ class CpuState:
         Job id currently running here, or ``None`` when idle.
     health:
         Availability of the CPU; see :class:`CpuHealth`.
+
+    A standalone ``CpuState(i)`` owns a private single-slot column
+    store (unit tests construct CPUs in isolation); machine-owned
+    views share the machine's store.
     """
 
-    __slots__ = ("cpu_id", "owner", "owner_app", "since", "busy_time",
-                 "switches", "health")
+    __slots__ = ("cpu_id", "_cols", "_pos")
 
-    def __init__(self, cpu_id: int) -> None:
+    def __init__(
+        self,
+        cpu_id: int,
+        _cols: Optional[CpuColumns] = None,
+        _pos: int = 0,
+    ) -> None:
         self.cpu_id = cpu_id
-        self.owner: Optional[int] = None
-        self.owner_app: str = ""
-        self.since: float = 0.0
-        self.busy_time: float = 0.0
-        self.switches: int = 0
-        self.health: CpuHealth = CpuHealth.ONLINE
+        if _cols is None:
+            _cols = CpuColumns(1)
+            _pos = 0
+        self._cols = _cols
+        self._pos = _pos
+
+    # ------------------------------------------------------------------
+    # column-backed attributes (same API as the pre-columnar class)
+    # ------------------------------------------------------------------
+    @property
+    def owner(self) -> Optional[int]:
+        """Job id currently running here, or ``None`` when idle."""
+        return self._cols.owner_of(self._pos)
+
+    @owner.setter
+    def owner(self, value: Optional[int]) -> None:
+        # pre-columnar CpuState exposed owner as a plain attribute;
+        # the fuzz oracle's corruption tests poke it directly
+        self._cols.owner[self._pos] = -1 if value is None else value
+
+    @property
+    def owner_app(self) -> str:
+        """Application name of the owning job (``""`` when idle)."""
+        return self._cols.app[self._pos]
+
+    @property
+    def since(self) -> float:
+        """Time the current burst (busy or idle) started."""
+        return float(self._cols.since[self._pos])
+
+    @property
+    def busy_time(self) -> float:
+        """Accumulated busy seconds."""
+        return float(self._cols.busy[self._pos])
+
+    @property
+    def switches(self) -> int:
+        """Ownership changes seen by this CPU."""
+        return int(self._cols.switches[self._pos])
+
+    @property
+    def health(self) -> CpuHealth:
+        """Availability of the CPU; see :class:`CpuHealth`."""
+        return _HEALTH_FROM_CODE[int(self._cols.health[self._pos])]
+
+    @health.setter
+    def health(self, value: CpuHealth) -> None:
+        self._cols.health[self._pos] = _HEALTH_CODE[value]
 
     @property
     def idle(self) -> bool:
         """Whether no job owns this CPU."""
-        return self.owner is None
+        return self._cols.owner[self._pos] == -1
 
     @property
     def allocatable(self) -> bool:
         """Whether the allocator may place a job here (not OFFLINE)."""
-        return self.health is not CpuHealth.OFFLINE
+        return self._cols.health[self._pos] != HEALTH_OFFLINE
 
     def assign(
         self,
@@ -81,26 +167,9 @@ class CpuState:
         previous owner's job id (or ``None``) so the caller can decide
         whether the switch counts as a migration.
         """
-        previous = self.owner
-        if previous == job_id:
-            return previous
-        if previous is not None:
-            duration = now - self.since
-            if duration < 0:
-                raise ValueError(
-                    f"cpu {self.cpu_id}: time went backwards "
-                    f"({self.since} -> {now})"
-                )
-            self.busy_time += duration
-            if trace is not None:
-                trace.record_burst(
-                    Burst(self.cpu_id, previous, self.owner_app, self.since, now)
-                )
-        self.owner = job_id
-        self.owner_app = app_name if job_id is not None else ""
-        self.since = now
-        self.switches += 1
-        return previous
+        return self._cols.assign_one(
+            self._pos, job_id, app_name, now, burst_emitter(trace)
+        )
 
     def flush(self, now: float, trace: Optional[TraceRecorder] = None) -> None:
         """Close the running burst without changing ownership.
@@ -108,14 +177,4 @@ class CpuState:
         Used at the end of a simulation so in-progress bursts appear in
         the trace.
         """
-        if self.owner is None:
-            return
-        duration = now - self.since
-        if duration < 0:
-            raise ValueError(f"cpu {self.cpu_id}: flush before burst start")
-        self.busy_time += duration
-        if trace is not None and duration > 0:
-            trace.record_burst(
-                Burst(self.cpu_id, self.owner, self.owner_app, self.since, now)
-            )
-        self.since = now
+        self._cols.flush_one(self._pos, now, burst_emitter(trace))

@@ -7,15 +7,24 @@ goals IRIX's affinity policy pursues — keep a job's threads where they
 were, keep partitions compact on the NUMA fabric — but applied to
 exclusive partitions, which is what makes the space-sharing policies
 stable (few migrations, long bursts; see Table 2 of the paper).
+
+Per-CPU ownership/burst state lives in one packed
+:class:`repro.sim.columns.CpuColumns` store; ``self.cpus`` holds
+lightweight views for scalar access.  The partition operations drive
+the *batched* column kernels — one ``seize``/``release`` call per
+event instead of one ``CpuState.assign`` call per CPU — processing
+ids in exactly the order the old per-CPU loops did, so trace contents
+and books stay byte-identical.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Set
 
-from repro.machine.cpu import CpuHealth, CpuState
+from repro.machine.cpu import CpuHealth, CpuState, burst_emitter
 from repro.machine.topology import NumaTopology
 from repro.metrics.trace import TraceRecorder
+from repro.sim.columns import HEALTH_OFFLINE, CpuColumns
 
 
 class MachineError(RuntimeError):
@@ -54,7 +63,13 @@ class Machine:
                 f"topology covers {self.topology.n_cpus} CPUs, machine has {n_cpus}"
             )
         self.trace = trace
-        self.cpus: List[CpuState] = [CpuState(i) for i in range(n_cpus)]
+        #: burst-emission callback for the column kernels (None when
+        #: untraced); a closure, so derived — rebuilt on unpickle.
+        self._emit = burst_emitter(trace)
+        self._cols = CpuColumns(n_cpus)
+        self.cpus: List[CpuState] = [
+            CpuState(i, self._cols, i) for i in range(n_cpus)
+        ]
         self._partitions: Dict[int, Set[int]] = {}
         self._app_names: Dict[int, str] = {}
         #: speed factor per degraded NUMA node (absent = full speed)
@@ -70,6 +85,15 @@ class Machine:
         self._node_of: List[int] = [
             self.topology.node_of(i) for i in range(n_cpus)
         ]
+        # With node ids monotone in cpu id (true for the default
+        # layout), sorting free CPUs by (node, id) is the identity on
+        # an id-sorted list, so new-partition placement can skip the
+        # sort entirely.
+        self._nodes_monotonic = all(
+            self._node_of[i] <= self._node_of[i + 1] for i in range(n_cpus - 1)
+        )
+        #: per-node hypercube-distance rows, built lazily (derived)
+        self._dist_rows: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------
     # pickling: canonical form for the set-valued books
@@ -80,7 +104,12 @@ class Machine:
         # makes snapshot bytes depend on how a partition was assembled
         # and breaks the checkpoint layer's save→restore→save
         # fixed-point contract.  Sorted lists are the canonical form.
+        # The per-CPU views and the distance cache are derived state:
+        # dropping them shrinks the envelope and they rebuild exactly.
         state = dict(self.__dict__)
+        del state["cpus"]
+        del state["_dist_rows"]
+        del state["_emit"]
         state["_free"] = sorted(self._free)
         state["_partitions"] = {
             job: sorted(cpus) for job, cpus in self._partitions.items()
@@ -93,6 +122,11 @@ class Machine:
             job: set(cpus) for job, cpus in state["_partitions"].items()
         }
         self.__dict__.update(state)
+        self._dist_rows = {}
+        self._emit = burst_emitter(self.trace)
+        self.cpus = [
+            CpuState(i, self._cols, i) for i in range(self.n_cpus)
+        ]
 
     # ------------------------------------------------------------------
     # queries
@@ -202,18 +236,22 @@ class Machine:
                 f"job {job_id} has no partition to release "
                 f"(jobs holding partitions: {self.running_jobs()})"
             )
-        for cpu_id in list(self._partitions[job_id]):
-            self.cpus[cpu_id].assign(None, "", now, self.trace)
-            self._n_allocated -= 1
-            if self.cpus[cpu_id].allocatable:
-                self._free.add(cpu_id)
+        released = list(self._partitions[job_id])
+        self._cols.release(released, now, self._emit)
+        self._n_allocated -= len(released)
+        if self._n_offline:
+            health = self._cols.health
+            self._free.update(
+                cpu_id for cpu_id in released if health[cpu_id] != HEALTH_OFFLINE
+            )
+        else:
+            self._free.update(released)
         del self._partitions[job_id]
         del self._app_names[job_id]
 
     def finalize(self, now: float) -> None:
         """Flush all in-progress bursts into the trace (end of run)."""
-        for cpu in self.cpus:
-            cpu.flush(now, self.trace)
+        self._cols.flush_all(now, self._emit)
         self.check_invariants()
 
     def check_invariants(self) -> None:
@@ -373,83 +411,100 @@ class Machine:
         # break placement ties exactly as the old full scan did.
         return sorted(self._free)
 
-    def _grow(self, job_id: int, count: int, now: float) -> None:
-        partition = self._partitions[job_id]
-        app_name = self._app_names[job_id]
-        chosen = self._pick_free_cpus(partition, count, job_id)
-        migrations = 0
-        for cpu_id in chosen:
-            previous = self.cpus[cpu_id].assign(job_id, app_name, now, self.trace)
-            if previous is not None and previous != job_id:
-                migrations += 1
-            partition.add(cpu_id)
-            self._free.discard(cpu_id)
-            self._n_allocated += 1
-        if migrations and self.trace is not None:
-            self.trace.record_migrations(migrations)
+    def _dist_row(self, node: int) -> List[int]:
+        """Hypercube hop count from *node* to every node (cached)."""
+        row = self._dist_rows.get(node)
+        if row is None:
+            n_nodes = self.topology.n_nodes
+            row = [bin(node ^ other).count("1") for other in range(n_nodes)]
+            self._dist_rows[node] = row
+        return row
 
-    def _pick_free_cpus(
-        self, partition: Iterable[int], count: int, job_id: Optional[int] = None
-    ) -> List[int]:
-        """Choose free CPUs minimising distance to the partition."""
-        partition = list(partition)
-        free = self._free_cpu_ids()
+    def _grow(self, job_id: int, count: int, now: float) -> None:
+        """Grow the partition by *count* CPUs closest to it.
+
+        Placement picks from the free set in ascending-id order with
+        NUMA-affinity ranking; the batched ``seize`` kernel then
+        assigns all chosen CPUs in one call.  All chosen CPUs come
+        from the free set, which only ever holds idle allocatable
+        CPUs, so no burst closes and no migration is possible here;
+        seize() enforces idleness.
+        """
+        partition = self._partitions[job_id]
+        free = sorted(self._free)
         if len(free) < count:
-            whom = f"job {job_id}" if job_id is not None else "partition"
             raise MachineError(
-                f"{whom}: need {count} free CPUs, have {len(free)} "
+                f"job {job_id}: need {count} free CPUs, have {len(free)} "
                 f"(partition {sorted(partition)}, free {free}, "
                 f"offline {self.offline_cpus()})"
             )
         node_of = self._node_of
         if not partition:
             # New partition: take the most compact run of free CPUs by
-            # sorting on node and preferring whole nodes.
-            free.sort(key=lambda c: (node_of[c], c))
-            return free[:count]
-
-        # Distance from a candidate to the partition only depends on
-        # NUMA nodes, so evaluate against the partition's distinct
-        # nodes (usually far fewer than its CPUs).  Same metric as
-        # topology.distance: 0 on-node, else hypercube hop count.
-        part_nodes = {node_of[p] for p in partition}
-
-        def affinity(cpu_id: int) -> tuple:
-            node = node_of[cpu_id]
-            if node in part_nodes:
-                return (0, cpu_id)
-            dist = min(bin(node ^ other).count("1") for other in part_nodes)
-            return (max(dist, 1), cpu_id)
-
-        free.sort(key=affinity)
-        return free[:count]
+            # sorting on node and preferring whole nodes.  With node
+            # ids monotone in cpu id (the default layout) the
+            # id-sorted list already is that order.
+            if not self._nodes_monotonic:
+                free.sort(key=lambda c: (node_of[c], c))
+            chosen = free[:count]
+        else:
+            # Distance from a candidate to the partition only depends
+            # on NUMA nodes, so compute the minimum hop count once per
+            # node from the cached distance rows (0 on-node; two
+            # distinct nodes always differ in >= 1 bit, matching the
+            # old max(dist, 1)).  The decorated sort reproduces the
+            # old (distance, cpu_id) affinity order without a
+            # per-element key callback.
+            part_nodes = {node_of[p] for p in partition}
+            rows = [
+                self._dist_row(node) for node in part_nodes  # repro: allow(DET105): order only feeds min(), which is order-independent
+            ]
+            dmin: Dict[int, int] = {}
+            decorated = []
+            for cpu_id in free:
+                node = node_of[cpu_id]
+                dist = dmin.get(node)
+                if dist is None:
+                    dist = dmin[node] = min(row[node] for row in rows)
+                decorated.append((dist, cpu_id))
+            decorated.sort()
+            chosen = [pair[1] for pair in decorated[:count]]
+        self._cols.seize(chosen, job_id, self._app_names[job_id], now)
+        partition.update(chosen)
+        self._free.difference_update(chosen)
+        self._n_allocated += count
 
     def _shrink(self, job_id: int, count: int, now: float) -> int:
-        """Release *count* CPUs from the partition; returns the count."""
-        partition = self._partitions[job_id]
-        victims = self._pick_victims(partition, count)
-        for cpu_id in victims:
-            self.cpus[cpu_id].assign(None, "", now, self.trace)
-            partition.remove(cpu_id)
-            self._n_allocated -= 1
-            if self.cpus[cpu_id].allocatable:
-                self._free.add(cpu_id)
-        return len(victims)
-
-    def _pick_victims(self, partition: Set[int], count: int) -> List[int]:
-        """Release CPUs from the least-populated nodes first.
+        """Release *count* CPUs from the least-populated nodes first.
 
         Giving back stragglers keeps the remaining partition compact,
-        preserving data locality for the job that shrinks.
+        preserving data locality for the job that shrinks.  One
+        composite-key sort — (node population, node id desc, cpu id
+        desc) — reproduces the old nodes-then-cpus nested victim
+        ordering; the batched ``release`` kernel closes the victims'
+        bursts in that exact order.
         """
-        by_node: Dict[int, List[int]] = {}
+        partition = self._partitions[job_id]
+        node_of = self._node_of
+        population: Dict[int, int] = {}
+        decorated = []
         for cpu_id in partition:
-            by_node.setdefault(self._node_of[cpu_id], []).append(cpu_id)
-        ordered_nodes = sorted(by_node, key=lambda n: (len(by_node[n]), -n))
-        victims: List[int] = []
-        for node in ordered_nodes:
-            for cpu_id in sorted(by_node[node], reverse=True):
-                if len(victims) == count:
-                    return victims
-                victims.append(cpu_id)
-        return victims
+            node = node_of[cpu_id]
+            population[node] = population.get(node, 0) + 1
+            decorated.append((node, cpu_id))
+        keyed = [
+            (population[node], -node, -cpu_id) for node, cpu_id in decorated
+        ]
+        keyed.sort()
+        victims = [-key[2] for key in keyed[:count]]
+        self._cols.release(victims, now, self._emit)
+        partition.difference_update(victims)
+        self._n_allocated -= count
+        if self._n_offline:
+            health = self._cols.health
+            self._free.update(
+                cpu_id for cpu_id in victims if health[cpu_id] != HEALTH_OFFLINE
+            )
+        else:
+            self._free.update(victims)
+        return count

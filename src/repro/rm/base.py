@@ -152,6 +152,10 @@ class SchedulingPolicy(ABC):
         machine.  Called by the resource manager; kept on the policy so
         tests can exercise it directly.
         """
+        if not decision and arriving is None:
+            # Nothing changes: current allocations already satisfy the
+            # machine-fit invariant, so skip rebuilding the totals.
+            return
         totals: Dict[int, int] = {
             job_id: view.allocation for job_id, view in system.jobs.items()
         }

@@ -31,6 +31,7 @@ from typing import Dict
 from repro.qs.job import Job
 from repro.rm.base import AllocationDecision, SchedulingPolicy, SystemView
 from repro.runtime.selfanalyzer import PerformanceReport
+from repro.sim.columns import predicted_efficiency_many
 
 #: Efficiency predictions are clamped to this ceiling so that a
 #: negative fitted overhead (superlinear measurement) cannot produce
@@ -73,13 +74,31 @@ def water_fill(
         )
     allocation = {jid: 1 for jid in requests}
     remaining = total_cpus - len(requests)
+    if remaining <= 0:
+        return allocation
+    # Each job's marginal efficiency at p = 2..request depends only on
+    # its fitted overhead, so evaluate the whole column in one batched
+    # kernel call per job instead of re-deriving one point per round
+    # of the greedy loop below.
+    order = sorted(requests)
+    eff_cols = {
+        jid: predicted_efficiency_many(
+            overheads.get(jid, 0.0),
+            range(2, requests[jid] + 1),
+            MAX_PREDICTED_EFFICIENCY,
+        )
+        for jid in order
+        if requests[jid] >= 2
+    }
     while remaining > 0:
         best_jid = None
         best_eff = 0.0
-        for jid, current in sorted(allocation.items()):
+        for jid in order:
+            current = allocation[jid]
             if current >= requests[jid]:
                 continue
-            eff = predicted_efficiency(overheads.get(jid, 0.0), current + 1)
+            # column index for p = current + 1 (the column starts at p=2)
+            eff = eff_cols[jid][current - 1]
             if eff > best_eff:
                 best_eff = eff
                 best_jid = jid

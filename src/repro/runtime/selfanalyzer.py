@@ -32,6 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.sim.columns import RunningMean
+
 
 @dataclass(frozen=True)
 class PerformanceReport:
@@ -107,8 +109,10 @@ class SelfAnalyzer:
     def __init__(self, job_id: int, config: Optional[SelfAnalyzerConfig] = None) -> None:
         self.job_id = job_id
         self.config = config or SelfAnalyzerConfig()
-        self._baseline_samples: List[float] = []
-        self._baseline_procs_used: List[int] = []
+        #: running-sum fold of the baseline samples (columnar hot
+        #: core); accumulating per sample is bit-identical to the old
+        #: retained list + sum() at baseline close
+        self._baseline = RunningMean()
         self._t_base: Optional[float] = None
         self._base_speedup: Optional[float] = None
         self._measured = 0
@@ -158,12 +162,11 @@ class SelfAnalyzer:
             raise ValueError(f"procs must be >= 1, got {procs}")
 
         if self._t_base is None:
-            self._baseline_samples.append(duration)
-            self._baseline_procs_used.append(procs)
-            if len(self._baseline_samples) >= self.config.baseline_iterations:
-                self._t_base = sum(self._baseline_samples) / len(self._baseline_samples)
+            self._baseline.add(duration, procs)
+            if self._baseline.count >= self.config.baseline_iterations:
+                self._t_base = self._baseline.mean
                 self._base_speedup = self._assumed_speedup_at(
-                    max(self._baseline_procs_used)
+                    self._baseline.max_procs
                 )
             self._last_procs = procs
             return None
@@ -240,8 +243,7 @@ class SelfAnalyzer:
         reset: the next iterations re-establish ``t_base`` on the
         baseline processor count.
         """
-        self._baseline_samples.clear()
-        self._baseline_procs_used.clear()
+        self._baseline.clear()
         self._t_base = None
         self._base_speedup = None
         self._measured = 0

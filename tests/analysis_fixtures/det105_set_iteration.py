@@ -16,3 +16,26 @@ def harmless(pending=frozenset({"a", "b"})):  # noqa: fixture keeps defaults imm
     ordered = sorted(pending)  # sorted: fine
     copied = {n for n in pending}  # set-to-set: fine
     return total, ordered, copied
+
+
+def columnar_leak(n_cpus, wanted):
+    """Columnar case: a dict of columns keyed from a set.
+
+    Dict iteration itself is insertion-ordered (not flagged), but a
+    dict *built* by iterating a set bakes the hash order into its key
+    sequence — every later ``.items()`` walk, and any serialization of
+    the columns, inherits it.
+    """
+    names = {"owner", "busy", "since"} & wanted
+    columns = {name: [0.0] * n_cpus for name in names}  # EXPECT: DET105
+    packed = []
+    for name, column in columns.items():  # dict order is deterministic: fine
+        packed.append((name, len(column)))
+    return packed
+
+
+def columnar_canonical(n_cpus, wanted):
+    """The deterministic counterpart: sort the set before keying."""
+    names = {"owner", "busy", "since"} & wanted
+    columns = {name: [0.0] * n_cpus for name in sorted(names)}
+    return [(name, len(column)) for name, column in columns.items()]
