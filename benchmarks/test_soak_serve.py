@@ -1,0 +1,125 @@
+"""Soak test: a million streamed jobs through the serve stack, flat RSS.
+
+The bounded-memory claim of the streaming service is that memory is
+O(live jobs), independent of jobs processed: terminal jobs are pruned
+every batch and their contribution lives on only in the folded
+:class:`StreamingStats`.  A unit test cannot catch a slow leak — a
+dict that grows by one small entry per job looks flat over 30 jobs and
+eats the host over a million.  So this test actually streams
+``REPRO_SOAK_JOBS`` (default 1,000,000) jobs through a real session
+and asserts the process RSS after the last job is within
+``RSS_RATIO_LIMIT`` of the RSS measured early in the stream (10% in),
+by which point the allocator high-water mark for steady state has been
+paid.
+
+Results (throughput, RSS trajectory, the final stats digest) append to
+``BENCH_soak.json`` at the repository root so the scheduled CI soak
+can chart drift across commits.
+
+Not part of tier-1 (``testpaths = ["tests"]``); the scheduled soak CI
+job runs ``pytest benchmarks/test_soak_serve.py -s`` nightly.  For a
+quick local smoke: ``REPRO_SOAK_JOBS=20000 pytest benchmarks/test_soak_serve.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.experiments.common import ExperimentConfig
+from repro.qs.workload import TABLE1_MIXES
+from repro.serve.session import ServeConfig, build_serve_session
+from repro.serve.source import SyntheticSource
+from repro.validate import validate_stream
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_soak.json"
+
+SOAK_JOBS = int(os.environ.get("REPRO_SOAK_JOBS", "1000000"))
+
+#: late RSS may exceed the 10%-mark RSS by at most this factor
+RSS_RATIO_LIMIT = 1.25
+
+#: events stepped between prune/RSS bookkeeping batches
+BATCH_EVENTS = 8192
+
+
+def _rss_mb() -> float:
+    # ru_maxrss is KiB on Linux
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _record(payload: dict) -> None:
+    doc = {"runs": []}
+    if BENCH_PATH.exists():
+        try:
+            doc = json.loads(BENCH_PATH.read_text())
+        except (OSError, ValueError):
+            pass
+    doc.setdefault("runs", []).append(payload)
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def test_million_job_stream_rss_stays_flat():
+    n_cpus = 16
+    config = ExperimentConfig(n_cpus=n_cpus, seed=7)
+    source = SyntheticSource(
+        TABLE1_MIXES["w2"], load=1.0, n_cpus=n_cpus, seed=7,
+        max_jobs=SOAK_JOBS,
+    )
+    session = build_serve_session(
+        "Equip", source, config=config, serve_config=ServeConfig(),
+    )
+    session.pump.prime()
+
+    early_mark = max(1, SOAK_JOBS // 10)
+    rss_early = None
+    max_live = 0
+    t0 = time.perf_counter()
+    while session.sim.step(BATCH_EVENTS):
+        session.prune()
+        max_live = max(max_live, len(session.jobs))
+        if rss_early is None and source.drawn >= early_mark:
+            rss_early = _rss_mb()
+    elapsed = time.perf_counter() - t0
+    rss_late = _rss_mb()
+
+    assert session.complete, "stream did not drain"
+    assert source.drawn == SOAK_JOBS
+    assert validate_stream(session) == []
+    stats = session.stats
+    assert stats.completed + stats.failed == SOAK_JOBS
+    # the prune actually pruned: live set never approached jobs-processed
+    assert max_live < max(200, SOAK_JOBS // 100)
+
+    assert rss_early is not None, "stream too short to measure (raise REPRO_SOAK_JOBS)"
+    ratio = rss_late / rss_early
+    payload = {
+        "section": "serve_soak",
+        "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "jobs": SOAK_JOBS,
+        "events": session.sim.events_fired,
+        "elapsed_s": round(elapsed, 1),
+        "jobs_per_s": round(SOAK_JOBS / elapsed, 1),
+        "events_per_s": round(session.sim.events_fired / elapsed, 1),
+        "rss_early_mb": round(rss_early, 1),
+        "rss_late_mb": round(rss_late, 1),
+        "rss_ratio": round(ratio, 3),
+        "max_live_jobs": max_live,
+        "stats_digest": stats.digest(),
+    }
+    _record(payload)
+    print(
+        f"\nsoak: {SOAK_JOBS:,} jobs / {session.sim.events_fired:,} events "
+        f"in {elapsed:,.0f}s ({SOAK_JOBS / elapsed:,.0f} jobs/s); "
+        f"RSS {rss_early:.1f} -> {rss_late:.1f} MB (x{ratio:.3f}, "
+        f"limit x{RSS_RATIO_LIMIT}); peak live jobs {max_live}"
+    )
+    assert ratio <= RSS_RATIO_LIMIT, (
+        f"RSS grew x{ratio:.3f} over the stream (limit {RSS_RATIO_LIMIT}): "
+        f"{rss_early:.1f} MB at 10% -> {rss_late:.1f} MB at the end — "
+        "something retains per-job state"
+    )

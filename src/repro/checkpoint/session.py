@@ -119,6 +119,10 @@ class SimulationSession:
     :meth:`finish`.
     """
 
+    #: envelope kind tag; subclasses (the serve session) override it so
+    #: a snapshot can never be restored as the wrong session flavour
+    KIND = "simulation-session"
+
     def __init__(
         self,
         policy_name: str,
@@ -149,7 +153,7 @@ class SimulationSession:
     def meta(self, label: str = "") -> Dict[str, Any]:
         """The envelope meta describing this session at this instant."""
         return {
-            "kind": "simulation-session",
+            "kind": self.KIND,
             "code_version": code_version(),
             "config_digest": config_digest(self.config),
             "policy": self.policy_name,
@@ -207,9 +211,9 @@ class SimulationSession:
         :class:`CheckpointMismatchError` — never a silently-wrong run.
         """
         meta, payload = read_snapshot(path)
-        if meta.get("kind") != "simulation-session":
+        if meta.get("kind") != cls.KIND:
             raise CheckpointMismatchError(
-                path, "kind", "simulation-session", meta.get("kind")
+                path, "kind", cls.KIND, meta.get("kind")
             )
         current = code_version()
         if meta.get("code_version") != current:

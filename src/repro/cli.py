@@ -13,7 +13,11 @@ Subcommands map one-to-one onto the experiment harnesses:
 * ``lint``      — static determinism sanitizer over Python sources.
 * ``replay``    — time-travel replay of a checkpoint snapshot.
 * ``fuzz``      — stateful protocol fuzzing with differential policy
-  checking; shrunk counterexamples land in a replayable corpus.
+  checking; shrunk counterexamples land in a replayable corpus
+  (``--stream`` fuzzes the open-system serve stack instead).
+* ``serve``     — crash-safe streaming service: open-system arrivals
+  (synthetic Poisson or an SWF log) through bounded-ingress admission
+  control, with journalled recovery via ``--restore``.
 
 The global ``--checkpoint-dir`` flag (with ``--checkpoint-every`` /
 ``--checkpoint-interval`` cadences) makes in-process runs and sweep
@@ -38,6 +42,7 @@ from repro.experiments import fig3, fig5_table2, fig7_fig8, tables, workloads
 from repro.experiments.common import POLICY_NAMES, ExperimentConfig, run_workload
 from repro.faults.scenarios import SCENARIOS, build_scenario
 from repro.metrics.stats import format_table
+from repro.qs.streaming import SHED_POLICIES
 from repro.qs.swf import jobs_to_swf, write_swf
 from repro.qs.workload import TABLE1_MIXES, generate_workload
 from repro.sim.rng import RandomStreams
@@ -218,6 +223,85 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument(
         "--no-differential", action="store_true",
         help="skip the cross-policy differential conservation pass",
+    )
+    p_fuzz.add_argument(
+        "--stream", action="store_true",
+        help="fuzz the open-system serve stack (bounded-ingress "
+             "admission, fold-on-completion stats, serve checkpoint "
+             "round-trips) instead of the batch sessions",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the crash-safe streaming scheduler service: "
+             "open-system arrivals through bounded-ingress admission "
+             "control, periodic snapshots, an fsync'd arrival journal, "
+             "and journalled recovery via --restore",
+    )
+    p_serve.add_argument("policy", choices=POLICY_NAMES)
+    p_serve.add_argument(
+        "--workload", choices=sorted(TABLE1_MIXES), default="w2",
+        help="application mix for the synthetic Poisson generator "
+             "(default w2; ignored with --swf)",
+    )
+    p_serve.add_argument(
+        "--swf", metavar="FILE",
+        help="stream arrivals from a (possibly dirty) SWF log instead "
+             "of the synthetic generator",
+    )
+    p_serve.add_argument(
+        "--load", type=float, default=1.0,
+        help="offered load for the synthetic generator; >1 oversubscribes "
+             "on purpose (default 1.0)",
+    )
+    p_serve.add_argument(
+        "--max-jobs", type=int, default=100, metavar="N",
+        help="stop drawing after N arrivals; 0 streams until the source "
+             "ends (SWF) — the synthetic generator never ends "
+             "(default 100)",
+    )
+    p_serve.add_argument(
+        "--ingress-limit", type=int, default=0, metavar="N",
+        help="bounded ingress queue size; 0 = unbounded (default)",
+    )
+    p_serve.add_argument(
+        "--overload", choices=SHED_POLICIES, default="reject",
+        help="what a full ingress queue does: reject the newcomer, "
+             "drop-oldest from the queue head, or block the generator "
+             "(default reject)",
+    )
+    p_serve.add_argument(
+        "--journal", metavar="FILE",
+        help="fsync'd arrival journal (required for verified recovery)",
+    )
+    p_serve.add_argument(
+        "--status-file", metavar="FILE",
+        help="atomically-replaced heartbeat status file",
+    )
+    p_serve.add_argument(
+        "--watchdog", type=float, default=None, metavar="SEC",
+        help="exit nonzero (after a best-effort snapshot) when no "
+             "progress happens for SEC wall seconds",
+    )
+    p_serve.add_argument(
+        "--step-events", type=int, default=2048, metavar="N",
+        help="events per run-loop batch (bounds prune/heartbeat/signal "
+             "latency; default 2048)",
+    )
+    p_serve.add_argument(
+        "--restore", metavar="SNAPSHOT",
+        help="resume from a snapshot plus the journal tail (--journal "
+             "required); replayed arrivals are verified against their "
+             "journalled records",
+    )
+    p_serve.add_argument(
+        "--stats-out", metavar="FILE",
+        help="write the final bounded-memory aggregates as JSON",
+    )
+    p_serve.add_argument(
+        "--faults", choices=sorted(SCENARIOS), metavar="SCENARIO",
+        help="inject a canned fault scenario "
+             f"({', '.join(sorted(SCENARIOS))})",
     )
 
     p_lint = sub.add_parser(
@@ -467,14 +551,15 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz.differential import differential_check, random_stimulus
     from repro.fuzz.profiles import CAMPAIGN_BUDGETS
     from repro.fuzz.runner import run_campaign
-    from repro.fuzz.targets import FUZZ_POLICIES
+    from repro.fuzz.targets import FUZZ_POLICIES, FUZZ_STREAM_POLICIES
 
-    policies = tuple(args.policies) if args.policies else FUZZ_POLICIES
+    valid = FUZZ_STREAM_POLICIES if args.stream else FUZZ_POLICIES
+    policies = tuple(args.policies) if args.policies else valid
     for policy in policies:
-        if policy not in FUZZ_POLICIES:
+        if policy not in valid:
             raise SystemExit(
                 f"error: unknown policy {policy!r} "
-                f"(choose from {', '.join(FUZZ_POLICIES)})"
+                f"(choose from {', '.join(valid)})"
             )
     budget, steps = CAMPAIGN_BUDGETS[args.profile]
     if args.budget is not None:
@@ -483,14 +568,16 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         steps = args.steps
     corpus_dir = Path(args.corpus_dir) if args.corpus_dir else CORPUS_DIR
 
+    mode = " stream=on" if args.stream else ""
     print(
         f"fuzz: profile={args.profile} seed={args.seed} "
         f"budget={budget} steps={steps} "
-        f"policies={','.join(policies)}"
+        f"policies={','.join(policies)}{mode}"
     )
     findings = 0
     for policy in policies:
-        result = run_campaign(policy, seed=args.seed, budget=budget, steps=steps)
+        result = run_campaign(policy, seed=args.seed, budget=budget,
+                              steps=steps, stream=args.stream)
         if result.ok:
             print(f"  {policy:<10} ok  ({budget} examples)")
             continue
@@ -514,7 +601,12 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"    {verdict}")
         print(f"    counterexample written to {path}")
 
-    if not args.no_differential:
+    if args.stream and not args.no_differential:
+        # The differential pass replays one stimulus under every batch
+        # policy; serve targets answer to validate_stream instead.
+        print("  differential skipped (batch-session machinery; "
+              "stream invariants run in-campaign)")
+    elif not args.no_differential:
         stimulus = random_stimulus(args.seed)
         diff = differential_check(stimulus.ops, seed=args.seed, policies=policies)
         if diff.clean:
@@ -533,6 +625,125 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         return 1
     print("fuzz: clean")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the crash-safe streaming service; return its exit code.
+
+    Fresh runs assemble a source (synthetic Poisson or SWF) behind the
+    bounded-ingress queue; ``--restore`` rebuilds the service from its
+    last snapshot plus the journal tail, with every replayed arrival
+    verified against its journalled record.  The summary on stdout is
+    deterministic (simulated time and counters only, no wall clock).
+    """
+    from pathlib import Path
+
+    from repro.checkpoint import CheckpointError, CheckpointPlan
+    from repro.serve.service import EXIT_DEADLOCK, ServeService
+    from repro.serve.session import (
+        ServeConfig,
+        StreamDivergenceError,
+        build_serve_session,
+    )
+    from repro.serve.source import SwfSource, SyntheticSource
+    from repro.qs.streaming import IngressConfig
+
+    if args.restore and not args.journal:
+        raise SystemExit(
+            "error: --restore requires --journal (recovery is verified "
+            "against the arrival journal)"
+        )
+    config = _config(args)
+    if args.faults:
+        config = config.with_faults(build_scenario(args.faults, config.n_cpus))
+
+    plan = None
+    cadence = _checkpoint_cadence(args)
+    if cadence is not None:
+        plan = CheckpointPlan(
+            path=Path(args.checkpoint_dir) / f"serve-{args.policy}.ckpt",
+            every_events=cadence[0],
+            every_sim_seconds=cadence[1],
+        )
+
+    max_jobs = None if args.max_jobs == 0 else args.max_jobs
+    try:
+        if args.restore:
+            # ServeConfig (ingress/step-events/watchdog) lives inside
+            # the snapshot: the restored run continues the crashed one.
+            service = ServeService.restore(
+                Path(args.restore),
+                args.journal,
+                expected_config=config,
+                expected_policy=args.policy,
+                status_path=args.status_file,
+                checkpoint=plan,
+            )
+        else:
+            if args.swf:
+                source = SwfSource(args.swf, max_jobs=max_jobs)
+            else:
+                source = SyntheticSource(
+                    TABLE1_MIXES[args.workload],
+                    args.load,
+                    n_cpus=config.n_cpus,
+                    seed=args.seed,
+                    max_jobs=max_jobs,
+                )
+            serve_config = ServeConfig(
+                ingress=IngressConfig(
+                    max_queue=args.ingress_limit, policy=args.overload
+                ),
+                step_events=args.step_events,
+                watchdog_seconds=args.watchdog,
+            )
+            session = build_serve_session(
+                args.policy, source, config=config,
+                serve_config=serve_config, load=args.load,
+            )
+            service = ServeService(
+                session,
+                journal_path=args.journal,
+                status_path=args.status_file,
+                checkpoint=plan,
+            )
+    except (CheckpointError, OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+
+    try:
+        code = service.run()
+    except StreamDivergenceError as exc:
+        raise SystemExit(f"error: {exc}")
+    session = service.session
+    stats = session.stats
+    phase = "deadlock" if code == EXIT_DEADLOCK else "drained"
+    src = session.source.describe()
+    lines = [
+        f"serve: {args.policy} source={src['kind']} "
+        f"ingress={session.qs.ingress.max_queue or 'unbounded'} "
+        f"policy={session.qs.ingress.policy}",
+        f"  {phase} at t={session.sim.now:.6g}s after "
+        f"{session.sim.events_fired} events ({session.source.drawn} drawn)",
+        f"  submitted={stats.submitted} admitted={stats.admitted} "
+        f"completed={stats.completed} failed={stats.failed} "
+        f"shed={stats.shed} requeues={stats.requeues} "
+        f"overloads={stats.overload_events}",
+        f"  peak-backlog={session.qs.peak_queue} "
+        f"replay-verified={session.pump.replay_verified}",
+        f"  stats digest {stats.digest()}",
+    ]
+    parse_stats = getattr(session.source, "parse_stats", None)
+    if parse_stats is not None:
+        lines.append(f"  swf: {parse_stats.summary_line()}")
+    print("\n".join(lines))
+    if args.stats_out:
+        import json
+
+        with open(args.stats_out, "w", encoding="utf-8") as handle:
+            json.dump(stats.to_dict(), handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"aggregates written to {args.stats_out}")
+    return code
 
 
 def cmd_replay(args: argparse.Namespace, sanitizer=None) -> str:
@@ -647,6 +858,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_lint(args)
     if args.command == "fuzz":
         return cmd_fuzz(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     sanitizer = _sanitizer(args)
     if args.command == "speedups":
         print(fig3.render())

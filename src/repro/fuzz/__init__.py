@@ -29,7 +29,11 @@ fault recovery — needs an adversarial harness.  This package provides:
   (``ci`` / ``dev`` / ``nightly``) shared with the whole test suite.
 
 The ``repro fuzz`` CLI subcommand drives a deterministic campaign:
-same seed, same rule sequence, same verdict.
+same seed, same rule sequence, same verdict.  ``repro fuzz --stream``
+points the same machine at the open-system serve stack
+(:mod:`repro.serve`): bounded-ingress admission, mid-campaign pruning,
+and the stream invariants (``validate_stream``) asserted after every
+rule.
 """
 
 from repro.fuzz.corpus import load_corpus, replay_corpus, write_corpus
@@ -38,11 +42,17 @@ from repro.fuzz.oracle import ORACLE_CHECKS, ORACLE_PARITY, LiveOracle
 from repro.fuzz.profiles import register_profiles
 from repro.fuzz.statemachine import machine_for
 from repro.fuzz.stimulus import apply_op
-from repro.fuzz.targets import FUZZ_N_CPUS, FUZZ_POLICIES, FuzzTarget
+from repro.fuzz.targets import (
+    FUZZ_N_CPUS,
+    FUZZ_POLICIES,
+    FUZZ_STREAM_POLICIES,
+    FuzzTarget,
+)
 
 __all__ = [
     "FUZZ_N_CPUS",
     "FUZZ_POLICIES",
+    "FUZZ_STREAM_POLICIES",
     "FuzzTarget",
     "LiveOracle",
     "ORACLE_CHECKS",

@@ -134,7 +134,9 @@ def replay_stimulus(
     checkpoint round trip runs after every recorded op, so the replay
     crosses the serialization boundary at every step.
     """
-    with FuzzTarget(stimulus.policy, seed=stimulus.seed) as target:
+    with FuzzTarget(
+        stimulus.policy, seed=stimulus.seed, stream=stimulus.stream
+    ) as target:
         oracle = LiveOracle()
         applied = 0
         for op in stimulus.ops:

@@ -46,6 +46,7 @@ ORACLE_CHECKS: Tuple[str, ...] = (
     "policy-sync",
     "cluster-coscheduling",
     "no-wedge",
+    "stream-invariants",
     "ckpt-roundtrip",
     "sweep-accounting",
     "sweep-journal",
@@ -78,6 +79,12 @@ ORACLE_PARITY: Dict[str, str] = {
     "ckpt-meta": "ckpt-roundtrip",
     "ckpt-compaction": "ckpt-roundtrip",
     "ckpt-wedged": "no-wedge",
+    # validate_stream (streaming targets run the full post-hoc stream
+    # audit between every two events; the recovery invariant is also
+    # re-proven by every serve checkpoint round-trip)
+    "stream-conservation": "stream-invariants",
+    "stream-bounded-queue": "stream-invariants",
+    "stream-recovery": "stream-invariants",
 }
 
 
@@ -125,6 +132,7 @@ class LiveOracle:
         problems.extend(self.check_policy_sync(target))
         problems.extend(self.check_cluster_coscheduling(target))
         problems.extend(self.check_no_wedge(target))
+        problems.extend(self.check_stream_invariants(target))
         return problems
 
     # ------------------------------------------------------------------
@@ -552,6 +560,26 @@ class LiveOracle:
             )]
         return []
 
+    # ------------------------------------------------------------------
+    # streaming invariants (validate: stream-conservation,
+    # stream-bounded-queue, stream-recovery)
+    # ------------------------------------------------------------------
+    def check_stream_invariants(self, target: "FuzzTarget") -> List[Violation]:
+        """Streaming targets pass the full stream audit at every cut.
+
+        ``validate_stream`` is already stated over monotone counters
+        and live state — callable at any instant — so the live oracle
+        simply runs it verbatim: submissions conserved through
+        admit/shed, the ingress bound honest (current backlog *and*
+        recorded peak), and no journal replay expectation left behind.
+        Batch targets have no streaming surface and return clean.
+        """
+        if not getattr(target, "is_stream", False):
+            return []
+        from repro.validate import validate_stream
+
+        return list(validate_stream(target.session))
+
 
 def final_audit(target: "FuzzTarget") -> List[Violation]:
     """Post-hoc audit of a fully drained target (validator parity).
@@ -566,11 +594,16 @@ def final_audit(target: "FuzzTarget") -> List[Violation]:
     Incomplete targets return no problems here (the live oracle's
     ``no-wedge`` check already flagged a wedge); cluster targets have
     no ``RunOutput`` surface, so the live oracle is their only audit.
+    Streaming targets folded (and pruned) their records as jobs
+    finished, so their post-hoc audit is ``validate_stream`` over the
+    drained session instead of ``validate_run`` over a harvest.
     """
-    from repro.validate import validate_run
+    from repro.validate import validate_run, validate_stream
 
     if not target.qs.all_done or target.is_cluster:
         return []
+    if target.is_stream:
+        return list(validate_stream(target.session))
     out = target.session.finish()
     return [
         v if isinstance(v, Violation) else Violation("post-hoc", "job", str(v))
@@ -675,6 +708,7 @@ _METHOD_OF: Mapping[str, str] = {
     "policy-sync": "check_policy_sync",
     "cluster-coscheduling": "check_cluster_coscheduling",
     "no-wedge": "check_no_wedge",
+    "stream-invariants": "check_stream_invariants",
 }
 
 

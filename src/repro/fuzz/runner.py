@@ -17,7 +17,7 @@ from hypothesis import HealthCheck, settings
 from hypothesis.stateful import run_state_machine_as_test
 
 from repro.fuzz.statemachine import FailureRecord, machine_for
-from repro.fuzz.targets import FUZZ_POLICIES
+from repro.fuzz.targets import FUZZ_POLICIES, FUZZ_STREAM_POLICIES
 
 
 @dataclass
@@ -28,6 +28,7 @@ class CampaignResult:
     seed: int
     budget: int
     steps: int
+    stream: bool = False
     failure: Optional[FailureRecord] = None
 
     @property
@@ -52,7 +53,7 @@ def campaign_settings(budget: int, steps: int) -> settings:
 
 
 def run_campaign(
-    policy: str, seed: int, budget: int, steps: int
+    policy: str, seed: int, budget: int, steps: int, stream: bool = False
 ) -> CampaignResult:
     """Fuzz one policy; returns the (shrunk) failure, if any.
 
@@ -60,8 +61,10 @@ def run_campaign(
     machine class's ``captured`` attribute holds the shrunk stimulus
     when the run raises.
     """
-    machine = machine_for(policy, seed)
-    result = CampaignResult(policy=policy, seed=seed, budget=budget, steps=steps)
+    machine = machine_for(policy, seed, stream=stream)
+    result = CampaignResult(
+        policy=policy, seed=seed, budget=budget, steps=steps, stream=stream
+    )
     try:
         run_state_machine_as_test(
             machine, settings=campaign_settings(budget, steps)
@@ -73,7 +76,9 @@ def run_campaign(
             from repro.fuzz.stimulus import Stimulus
 
             failure = FailureRecord(
-                stimulus=Stimulus(policy=policy, seed=seed, ops=[]),
+                stimulus=Stimulus(
+                    policy=policy, seed=seed, ops=[], stream=stream
+                ),
                 crash=f"{type(exc).__name__}: {exc}",
             )
         result.failure = failure
@@ -81,12 +86,21 @@ def run_campaign(
 
 
 def run_campaigns(
-    policies: Sequence[str] = FUZZ_POLICIES,
+    policies: Optional[Sequence[str]] = None,
     seed: int = 0,
     budget: int = 60,
     steps: int = 50,
+    stream: bool = False,
 ) -> List[CampaignResult]:
-    """One campaign per policy, in the given (deterministic) order."""
+    """One campaign per policy, in the given (deterministic) order.
+
+    With *stream* the campaigns drive the serve stack; the default
+    policy set then excludes the cluster coordinator, which has no
+    streaming twin.
+    """
+    if policies is None:
+        policies = FUZZ_STREAM_POLICIES if stream else FUZZ_POLICIES
     return [
-        run_campaign(policy, seed, budget, steps) for policy in policies
+        run_campaign(policy, seed, budget, steps, stream=stream)
+        for policy in policies
     ]

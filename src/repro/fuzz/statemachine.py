@@ -63,6 +63,8 @@ class ProtocolFuzz(RuleBasedStateMachine):
     #: pinned by machine_for
     policy: ClassVar[str] = ""
     seed_value: ClassVar[int] = 0
+    #: drive the streaming (serve-stack) target instead of the batch one
+    stream: ClassVar[bool] = False
     #: the last failure seen by any instance of this class; after a
     #: failed run this holds the minimal shrunk example
     captured: ClassVar[Optional[FailureRecord]] = None
@@ -71,7 +73,9 @@ class ProtocolFuzz(RuleBasedStateMachine):
         super().__init__()
         if not self.policy:
             raise TypeError("use machine_for(policy, seed), not ProtocolFuzz")
-        self.target = FuzzTarget(self.policy, seed=self.seed_value)
+        self.target = FuzzTarget(
+            self.policy, seed=self.seed_value, stream=self.stream
+        )
         self.oracle = LiveOracle()
         self.ops: List[Dict[str, Any]] = []
 
@@ -99,7 +103,8 @@ class ProtocolFuzz(RuleBasedStateMachine):
 
     def _stimulus(self) -> Stimulus:
         return Stimulus(
-            policy=self.policy, seed=self.seed_value, ops=list(self.ops)
+            policy=self.policy, seed=self.seed_value, ops=list(self.ops),
+            stream=self.stream,
         )
 
     # ------------------------------------------------------------------
@@ -154,6 +159,11 @@ class ProtocolFuzz(RuleBasedStateMachine):
         """Save/audit/restore at this cut point; continue on the restored graph."""
         self._apply({"kind": "checkpoint"})
 
+    @rule()
+    def prune(self) -> None:
+        """Reclaim terminal jobs mid-run (streaming; batch no-op)."""
+        self._apply({"kind": "prune"})
+
     # ------------------------------------------------------------------
     # end of every example: the run must be completable
     # ------------------------------------------------------------------
@@ -183,17 +193,26 @@ class ProtocolFuzz(RuleBasedStateMachine):
             raise OracleViolation(problems, self._stimulus())
 
 
-def machine_for(policy: str, seed: int) -> Type[ProtocolFuzz]:
+def machine_for(
+    policy: str, seed: int, stream: bool = False
+) -> Type[ProtocolFuzz]:
     """A seeded state-machine class fuzzing *policy*.
 
     Setting ``_hypothesis_internal_use_seed`` is what ``@seed(N)``
     does; it pins hypothesis's randomness so the same (policy, seed)
     explores the same rule sequences and reaches the same verdict.
+    With *stream*, every example drives the serve stack: submissions
+    go through bounded-ingress admission, shed over capacity, and the
+    checkpoint rule round-trips the whole streaming graph.
     """
     namespace = {
         "policy": policy,
         "seed_value": seed,
+        "stream": stream,
         "captured": None,
         "_hypothesis_internal_use_seed": seed,
     }
-    return type(f"ProtocolFuzz_{policy}_{seed}", (ProtocolFuzz,), namespace)
+    suffix = "_stream" if stream else ""
+    return type(
+        f"ProtocolFuzz_{policy}_{seed}{suffix}", (ProtocolFuzz,), namespace
+    )

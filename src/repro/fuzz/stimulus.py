@@ -34,6 +34,13 @@ Ops
     :meth:`~repro.fuzz.targets.FuzzTarget.checkpoint_roundtrip`).
 ``drain {}``
     Fire events until the queue empties or all jobs are terminal.
+``prune {}``
+    Reclaim terminal jobs (streaming targets only; a deterministic
+    no-op on batch targets, which keep every job for the summary).
+
+A stimulus recorded against a streaming target carries
+``stream: true``, so replays rebuild the serve stack (bounded ingress,
+fold-on-completion stats) rather than the batch session.
 """
 
 from __future__ import annotations
@@ -48,7 +55,7 @@ from repro.validate import Violation
 #: op kinds in canonical order (stable for corpus files and reports)
 OP_KINDS: Tuple[str, ...] = (
     "submit", "step", "advance", "cpu_fail", "cpu_repair", "crash",
-    "force", "checkpoint", "drain",
+    "force", "checkpoint", "drain", "prune",
 )
 
 #: current corpus/stimulus format version
@@ -63,6 +70,8 @@ class Stimulus:
     seed: int
     ops: List[Dict[str, Any]] = field(default_factory=list)
     n_cpus: int = FUZZ_N_CPUS
+    #: recorded against the streaming (serve-stack) target
+    stream: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form (stable key order is the writer's job)."""
@@ -71,6 +80,7 @@ class Stimulus:
             "policy": self.policy,
             "seed": self.seed,
             "n_cpus": self.n_cpus,
+            "stream": self.stream,
             "ops": list(self.ops),
         }
 
@@ -87,6 +97,8 @@ class Stimulus:
             seed=int(data["seed"]),
             ops=[dict(op) for op in data["ops"]],
             n_cpus=int(data.get("n_cpus", FUZZ_N_CPUS)),
+            # absent in pre-streaming corpus files: those were batch
+            stream=bool(data.get("stream", False)),
         )
 
     def to_json(self) -> str:
@@ -172,5 +184,8 @@ def apply_op(target: FuzzTarget, op: Dict[str, Any]) -> List[Violation]:
         return target.checkpoint_roundtrip()
     if kind == "drain":
         target.drain()
+        return []
+    if kind == "prune":
+        target.prune()  # deterministic no-op on batch targets
         return []
     raise _bad_op(op, f"unknown kind {kind!r}; expected one of {OP_KINDS}")

@@ -32,9 +32,13 @@ from repro.experiments.common import ExperimentConfig, build_session
 from repro.metrics.trace import FaultRecord, ReallocationRecord, TraceRecorder
 from repro.qs.job import Job, JobState
 from repro.qs.queuing import NanosQS, RetryConfig
+from repro.qs.streaming import BLOCKED, IngressConfig
+from repro.qs.workload import TABLE1_MIXES
+from repro.serve.session import ServeConfig, build_serve_session
+from repro.serve.source import SyntheticSource
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
-from repro.validate import Violation, validate_checkpoint
+from repro.validate import Violation, validate_checkpoint, validate_stream
 
 #: machine size of every fuzz target (cluster: 4 nodes x 4 CPUs)
 FUZZ_N_CPUS = 16
@@ -43,6 +47,14 @@ FUZZ_N_CPUS = 16
 #: (IRIX is time-shared — no partitions, no fault surface — so the
 #: space-sharing invariants do not apply to it)
 FUZZ_POLICIES: Tuple[str, ...] = ("Equip", "Equal_eff", "PDPA", "Cluster")
+
+#: policies the *streaming* fuzzer drives (the serve stack wraps the
+#: space-sharing RMs; the cluster coordinator has no streaming twin)
+FUZZ_STREAM_POLICIES: Tuple[str, ...] = ("Equip", "Equal_eff", "PDPA")
+
+#: ingress bound of streaming targets — small enough that a handful of
+#: submissions reaches the shed path
+FUZZ_INGRESS_QUEUE = 3
 
 #: retry budget small enough that the fuzzer reaches FAILED routinely
 FUZZ_RETRY = RetryConfig(max_retries=1, backoff_base=1.0, backoff_cap=4.0)
@@ -113,23 +125,40 @@ class FuzzTarget:
     Parameters
     ----------
     policy:
-        One of :data:`FUZZ_POLICIES`.
+        One of :data:`FUZZ_POLICIES` (streaming:
+        :data:`FUZZ_STREAM_POLICIES`).
     seed:
         Master seed for the session's RNG streams.
+    stream:
+        ``True`` builds the open-system serve stack instead of the
+        batch session: a :class:`~repro.qs.streaming.StreamingQS` with
+        a small bounded ingress queue (shed policy picked
+        deterministically from the seed) behind an exhausted arrival
+        pump, so every fuzz submission goes through admission control
+        and the bounded-memory fold/prune path.
     """
 
-    def __init__(self, policy: str, seed: int = 0) -> None:
-        if policy not in FUZZ_POLICIES:
+    def __init__(self, policy: str, seed: int = 0, stream: bool = False) -> None:
+        if stream:
+            if policy not in FUZZ_STREAM_POLICIES:
+                raise ValueError(
+                    f"unknown stream fuzz policy {policy!r}; expected one "
+                    f"of {FUZZ_STREAM_POLICIES}"
+                )
+        elif policy not in FUZZ_POLICIES:
             raise ValueError(
                 f"unknown fuzz policy {policy!r}; expected one of {FUZZ_POLICIES}"
             )
         self.policy = policy
         self.seed = seed
+        self.stream = stream
         self.n_cpus = FUZZ_N_CPUS
-        self._next_job_id = 0
+        self._next_job_id = 1 if stream else 0
         self._snapdir: Optional[str] = None
         config = fuzz_config(seed)
-        if policy == "Cluster":
+        if stream:
+            self.session = _build_stream_session(policy, config)
+        elif policy == "Cluster":
             self.session = _build_cluster_session(config)
         else:
             self.session = build_session(policy, [], config, load=0.0)
@@ -160,6 +189,11 @@ class FuzzTarget:
     def is_cluster(self) -> bool:
         """Whether this target drives the cluster coordinator."""
         return self.policy == "Cluster"
+
+    @property
+    def is_stream(self) -> bool:
+        """Whether this target drives the open-system serve stack."""
+        return self.stream
 
     def machines(self) -> List[Any]:
         """Every machine model of the target (one, or one per node)."""
@@ -205,7 +239,12 @@ class FuzzTarget:
     # stimulus surface
     # ------------------------------------------------------------------
     def submit(self, app: str, request: int) -> Job:
-        """Submit one job of application *app* at the current time."""
+        """Submit one job of application *app* at the current time.
+
+        Streaming targets go through :meth:`StreamingQS.offer`, so a
+        submission over a full ingress queue is shed (or evicts the
+        queue head) exactly as the service would shed it.
+        """
         spec = FUZZ_APPS[app]
         request = max(1, min(request, self.n_cpus))
         job = Job(
@@ -215,12 +254,30 @@ class FuzzTarget:
             request=request,
         )
         self._next_job_id += 1
+        if self.is_stream:
+            # offer() owns the accounting (admitted jobs land in
+            # qs.jobs, which IS session.jobs for a serve session);
+            # reject/drop-oldest never return BLOCKED.
+            outcome = self.qs.offer(job)
+            assert outcome != BLOCKED
+            return job
         # The session and the QS each keep their own job list (sharing
         # the Job objects); both must see dynamic submissions or the
         # accounting invariants compare different universes.
         self.qs.submit(job)
         self.session.jobs.append(job)
         return job
+
+    def prune(self) -> int:
+        """Reclaim terminal jobs (streaming only; no-op elsewhere).
+
+        The deterministic guard for the ``prune`` op: batch sessions
+        keep every job for the final summary, so pruning them would
+        change the universe the post-hoc validators audit.
+        """
+        if not self.is_stream:
+            return 0
+        return self.session.prune()
 
     def step_events(self, n: int) -> int:
         """Fire up to *n* pending events; returns the number fired."""
@@ -262,12 +319,19 @@ class FuzzTarget:
         first = snapdir / "roundtrip-1.ckpt"
         second = snapdir / "roundtrip-2.ckpt"
         third = snapdir / "roundtrip-3.ckpt"
+        # Serve sessions prune inside save(); prune *before* taking the
+        # reference fingerprint so both sides describe the pruned graph.
+        if self.is_stream:
+            self.session.prune()
         fp_before = self.fingerprint()
+        session_cls = type(self.session)
         self.session.save(first)
-        problems.extend(validate_checkpoint(first, expected_config=self.session.config))
+        problems.extend(validate_checkpoint(
+            first, expected_config=self.session.config, session_cls=session_cls
+        ))
         if problems:
             return problems
-        restored = SimulationSession.restore(
+        restored = session_cls.restore(
             first, expected_config=self.session.config
         )
         fp_restored = _session_fingerprint(restored)
@@ -278,8 +342,12 @@ class FuzzTarget:
                 f"{_fingerprint_diff(fp_before, fp_restored)}",
             ))
             return problems
+        if self.is_stream:
+            problems.extend(self._stream_roundtrip_checks(restored))
+            if problems:
+                return problems
         restored.save(second)
-        again = SimulationSession.restore(second, expected_config=self.session.config)
+        again = session_cls.restore(second, expected_config=self.session.config)
         again.save(third)
         meta2, payload2 = read_snapshot(second)
         meta3, payload3 = read_snapshot(third)
@@ -310,6 +378,26 @@ class FuzzTarget:
             return problems
         # Continue the run on the graph that went through disk.
         self.session = again
+        return problems
+
+    def _stream_roundtrip_checks(self, restored: Any) -> List[Violation]:
+        """Serve-specific round-trip contract: aggregates and invariants.
+
+        The restored stream must report byte-identical bounded-memory
+        aggregates (the ``StreamingStats`` digest) and must itself pass
+        every streaming invariant — a snapshot that resurrects an
+        invalid stream is as broken as one that loses a job.
+        """
+        problems: List[Violation] = []
+        before = self.session.stats.digest()
+        after = restored.stats.digest()
+        if before != after:
+            problems.append(Violation(
+                "ckpt-roundtrip", "checkpoint",
+                f"restored streaming aggregates diverge: stats digest "
+                f"{before} -> {after}",
+            ))
+        problems.extend(validate_stream(restored))
         return problems
 
     def _ensure_snapdir(self) -> Path:
@@ -357,6 +445,11 @@ def _session_fingerprint(session: SimulationSession) -> Tuple[Any, ...]:
         )
     else:
         allocations = (tuple(sorted(rm.machine.allocations().items())),)
+    # Streaming sessions fold terminal jobs into bounded aggregates and
+    # prune the objects — the digest is the part of history the job
+    # tuple no longer carries.
+    stats = getattr(session, "stats", None)
+    stats_digest = stats.digest() if stats is not None else None
     return (
         jobs,
         session.sim.now,
@@ -364,18 +457,52 @@ def _session_fingerprint(session: SimulationSession) -> Tuple[Any, ...]:
         session.sim.pending_events,
         tuple(session.sim.live_labels()),
         allocations,
+        stats_digest,
     )
 
 
 def _fingerprint_diff(before: Tuple[Any, ...], after: Tuple[Any, ...]) -> str:
     names = ("jobs", "now", "events_fired", "pending_events", "live_labels",
-             "allocations")
+             "allocations", "stats_digest")
     parts = [
         f"{name}: {b!r} -> {a!r}"
         for name, b, a in zip(names, before, after)
         if b != a
     ]
     return "; ".join(parts) if parts else "(no observable difference)"
+
+
+def _build_stream_session(policy: str, config: ExperimentConfig) -> Any:
+    """Assemble the serve stack as a fuzz target.
+
+    The source is a real :class:`SyntheticSource` capped at
+    ``max_jobs=0``: priming the pump exhausts it immediately, so every
+    arrival comes from fuzz ``submit`` ops through ``offer()`` — the
+    fuzzer controls the interleaving, not a Poisson clock — while the
+    pump/queue/stats wiring stays exactly the service's.  The shed
+    policy alternates with the seed so both deterministic shedding
+    modes are fuzzed (``block`` needs a cooperating pump and is
+    exercised by the serve unit tests instead).
+    """
+    ingress = IngressConfig(
+        max_queue=FUZZ_INGRESS_QUEUE,
+        policy=("reject", "drop-oldest")[config.seed % 2],
+    )
+    source = SyntheticSource(
+        TABLE1_MIXES["w2"],
+        load=1.0,
+        n_cpus=config.n_cpus,
+        seed=config.seed,
+        max_jobs=0,
+    )
+    session = build_serve_session(
+        policy,
+        source,
+        config=config,
+        serve_config=ServeConfig(ingress=ingress),
+    )
+    session.pump.prime()  # draws nothing (max_jobs=0) and exhausts
+    return session
 
 
 def _build_cluster_session(config: ExperimentConfig) -> SimulationSession:

@@ -14,9 +14,11 @@ from repro.metrics.stats import (
     ClassSummary,
     JobRecord,
     WorkloadResult,
+    fold_sum,
     format_table,
     summarize_by_app,
 )
+from repro.metrics.streaming import ClassFold, Reservoir, StreamingStats
 from repro.metrics.trace import (
     Burst,
     FaultRecord,
@@ -63,7 +65,11 @@ __all__ = [
     "ClassSummary",
     "WorkloadResult",
     "summarize_by_app",
+    "fold_sum",
     "format_table",
+    "ClassFold",
+    "Reservoir",
+    "StreamingStats",
     "PrvTrace",
     "export_prv",
     "parse_prv",

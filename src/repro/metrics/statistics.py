@@ -51,10 +51,17 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 
 def mean(values: Sequence[float]) -> float:
-    """Arithmetic mean (ValueError on empty input)."""
+    """Arithmetic mean (ValueError on empty input).
+
+    Sums via :func:`repro.metrics.stats.fold_sum` so the result is
+    reproducible by a one-sample-at-a-time streaming fold on every
+    interpreter (the ``sum`` builtin is compensated on CPython 3.12+).
+    """
     if not values:
         raise ValueError("cannot take the mean of no values")
-    return sum(values) / len(values)
+    from repro.metrics.stats import fold_sum
+
+    return fold_sum(values) / len(values)
 
 
 def std(values: Sequence[float]) -> float:

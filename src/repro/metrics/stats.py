@@ -14,6 +14,23 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.qs.job import Job, JobState
 
 
+def fold_sum(values: Iterable[float]) -> float:
+    """Strict left fold of floats from 0.0 — the repo's one summation.
+
+    Every aggregate that must be reproducible by a streaming fold
+    (:class:`repro.metrics.streaming.StreamingStats` accumulates
+    ``total += x`` one sample at a time) goes through this helper
+    instead of the ``sum`` builtin: CPython 3.12+ sums floats with
+    Neumaier compensation, which is *not* bit-identical to the left
+    fold, so the builtin would make closed-run summaries diverge from
+    the streamed fold by a few ulps depending on interpreter version.
+    """
+    acc = 0.0
+    for value in values:
+        acc = acc + value
+    return acc
+
+
 @dataclass(frozen=True)
 class JobRecord:
     """Immutable outcome of one completed job."""
@@ -105,9 +122,9 @@ class ClassSummary:
         return cls(
             app_name=app_name,
             count=n,
-            mean_response_time=sum(r.response_time for r in records) / n,
-            mean_execution_time=sum(r.execution_time for r in records) / n,
-            mean_wait_time=sum(r.wait_time for r in records) / n,
+            mean_response_time=fold_sum(r.response_time for r in records) / n,
+            mean_execution_time=fold_sum(r.execution_time for r in records) / n,
+            mean_wait_time=fold_sum(r.wait_time for r in records) / n,
             max_response_time=max(r.response_time for r in records),
         )
 
@@ -215,7 +232,7 @@ class WorkloadResult:
         """Mean response time over every job in the workload."""
         if not self.records:
             return 0.0
-        return sum(r.response_time for r in self.records) / len(self.records)
+        return fold_sum(r.response_time for r in self.records) / len(self.records)
 
     @property
     def mean_bounded_slowdown(self) -> float:

@@ -8,13 +8,19 @@
   Poisson arrivals over 300 seconds at an estimated processor demand
   of 60/80/100% of machine capacity, mixes from Table 1.
 * :mod:`repro.qs.swf` — reader/writer for Feitelson's Standard
-  Workload Format, the trace file format the paper's workloads use.
+  Workload Format, the trace file format the paper's workloads use;
+  the lenient incremental reader (:func:`iter_swf`) survives dirty
+  archive logs with skip-with-count accounting.
+* :mod:`repro.qs.streaming` — the open-system queue: bounded ingress
+  with deterministic shedding, fold-on-completion metrics, terminal
+  jobs pruned so memory stays O(live jobs).
 """
 
 from repro.qs.job import Job, JobState
 from repro.qs.queuing import NanosQS, RetryConfig
 from repro.qs.backfill import BackfillQS
-from repro.qs.swf import SwfJob, parse_swf, write_swf
+from repro.qs.streaming import SHED_POLICIES, IngressConfig, StreamingQS
+from repro.qs.swf import SwfJob, SwfParseStats, iter_swf, parse_swf, write_swf
 from repro.qs.workload import (
     TABLE1_MIXES,
     WorkloadMix,
@@ -29,8 +35,13 @@ __all__ = [
     "RetryConfig",
     "BackfillQS",
     "SwfJob",
+    "SwfParseStats",
+    "iter_swf",
     "parse_swf",
     "write_swf",
+    "SHED_POLICIES",
+    "IngressConfig",
+    "StreamingQS",
     "WorkloadMix",
     "TABLE1_MIXES",
     "estimate_demand",

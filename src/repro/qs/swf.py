@@ -13,8 +13,8 @@ as the specification requires.
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, TextIO, Union
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Union
 
 from repro.apps.application import ApplicationSpec
 from repro.qs.job import Job
@@ -105,23 +105,123 @@ class SwfJob:
         return cls(**kwargs)
 
 
-def parse_swf(source: Union[str, TextIO]) -> List[SwfJob]:
-    """Parse SWF text (or a file-like object) into records.
+@dataclass
+class SwfParseStats:
+    """Skip-with-count bookkeeping for dirty real-world SWF logs.
 
-    Header/comment lines (starting with ``;``) and blank lines are
-    skipped.
+    Archive logs routinely contain comment banners, truncated lines,
+    bogus negative runtimes and submit times that go backwards.  In
+    lenient mode the parser skips (or repairs) those and counts each
+    class here, so a caller can report honestly what it dropped; in
+    strict mode the first anomaly raises instead.
+    """
+
+    lines: int = 0
+    records: int = 0
+    comments: int = 0
+    blank: int = 0
+    malformed: int = 0
+    negative_runtime: int = 0
+    out_of_order: int = 0
+    #: line numbers of the first few anomalies, for error reporting
+    anomaly_lines: List[int] = field(default_factory=list)
+    _ANOMALY_SAMPLE = 8
+
+    @property
+    def skipped(self) -> int:
+        """Records dropped (malformed + bogus negative runtimes)."""
+        return self.malformed + self.negative_runtime
+
+    def note_anomaly(self, lineno: int) -> None:
+        if len(self.anomaly_lines) < self._ANOMALY_SAMPLE:
+            self.anomaly_lines.append(lineno)
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.records} records, {self.comments} comments, "
+            f"{self.malformed} malformed, {self.negative_runtime} negative-runtime, "
+            f"{self.out_of_order} out-of-order"
+        )
+
+
+def iter_swf(
+    source: Union[str, TextIO],
+    strict: bool = True,
+    stats: Optional[SwfParseStats] = None,
+) -> Iterator[SwfJob]:
+    """Stream SWF records one line at a time (constant memory).
+
+    Header/comment lines (``;`` per the spec, plus ``#`` which dirty
+    logs use) and blank lines are always skipped.  ``strict=True``
+    raises :class:`ValueError` on the first malformed line or bogus
+    negative runtime; ``strict=False`` skips them, counting each class
+    in *stats*.  A runtime of exactly -1 is the spec's legal "unknown"
+    and is never treated as an anomaly.  Submit-time ordering is not
+    enforced here (a stream cannot be sorted); see :func:`parse_swf`.
     """
     if isinstance(source, str):
         source = io.StringIO(source)
-    records = []
+    stats = stats if stats is not None else SwfParseStats()
     for lineno, line in enumerate(source, start=1):
+        stats.lines += 1
         stripped = line.strip()
-        if not stripped or stripped.startswith(";"):
+        if not stripped:
+            stats.blank += 1
+            continue
+        if stripped.startswith(";") or stripped.startswith("#"):
+            stats.comments += 1
             continue
         try:
-            records.append(SwfJob.from_line(stripped))
+            record = SwfJob.from_line(stripped)
         except ValueError as exc:
-            raise ValueError(f"line {lineno}: {exc}") from exc
+            if strict:
+                raise ValueError(f"line {lineno}: {exc}") from exc
+            stats.malformed += 1
+            stats.note_anomaly(lineno)
+            continue
+        if record.run_time < 0 and record.run_time != -1:  # repro: allow(DET106): -1 is the SWF spec's literal "unknown" sentinel parsed from the file, not a computed timestamp
+            if strict:
+                raise ValueError(
+                    f"line {lineno}: negative run_time {record.run_time} "
+                    f"(only -1 may mark an unknown runtime)"
+                )
+            stats.negative_runtime += 1
+            stats.note_anomaly(lineno)
+            continue
+        stats.records += 1
+        yield record
+
+
+def parse_swf(
+    source: Union[str, TextIO],
+    strict: bool = True,
+    stats: Optional[SwfParseStats] = None,
+) -> List[SwfJob]:
+    """Parse SWF text (or a file-like object) into records.
+
+    Header/comment lines and blank lines are skipped.  In strict mode
+    (the default) the first malformed line, bogus negative runtime or
+    backwards submit time raises :class:`ValueError`; in lenient mode
+    malformed/negative-runtime records are skipped, out-of-order
+    records are stably re-sorted by ``(submit_time, job_number)``, and
+    every repair is counted in *stats* (pass a
+    :class:`SwfParseStats` to read them back).
+    """
+    stats = stats if stats is not None else SwfParseStats()
+    records = list(iter_swf(source, strict=strict, stats=stats))
+    last_submit: Optional[float] = None
+    for record in records:
+        if last_submit is not None and record.submit_time < last_submit:
+            if strict:
+                raise ValueError(
+                    f"job {record.job_number}: submit_time {record.submit_time} "
+                    f"goes backwards (previous {last_submit})"
+                )
+            stats.out_of_order += 1
+        else:
+            last_submit = record.submit_time
+    if stats.out_of_order:
+        records.sort(key=lambda r: (r.submit_time, r.job_number))
     return records
 
 

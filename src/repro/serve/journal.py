@@ -1,0 +1,200 @@
+"""Write-ahead arrival journal: crash-safe ingress for the service.
+
+The checkpoint envelope makes the *session* durable every N events;
+the journal makes every **drawn arrival** durable immediately.  Each
+job the arrival pump draws from its source is appended as one JSONL
+record — sequence number, job id, application, submit time, processor
+request — flushed and ``fsync``'d *before* the arrival is offered to
+the queue.  Kill the service at any instant and the journal names
+exactly the arrivals that entered the system after the last snapshot.
+
+Recovery replays the journal tail: the restored source re-draws its
+arrivals deterministically, and each re-draw is checked against the
+journalled record (:meth:`JournalEntry.matches_job`).  A mismatch
+means the source stopped being deterministic — different code, edited
+SWF file, wrong seed — and recovery refuses rather than silently
+diverging (the ``stream-recovery`` validation invariant).
+
+The same degradation tolerances as the sweep journal apply: a torn
+tail (crash mid-write) stops the load at the first unparseable line,
+and duplicate sequence numbers — a crash between fsync and snapshot,
+then a restart re-drawing the same arrival — are resolved last-wins
+and counted in :attr:`ArrivalJournal.duplicates`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["ArrivalJournal", "JournalEntry"]
+
+
+class JournalEntry:
+    """One drawn arrival as recorded in the journal."""
+
+    __slots__ = ("seq", "job_id", "app", "submit", "request")
+
+    def __init__(
+        self, seq: int, job_id: int, app: str, submit: float, request: int
+    ) -> None:
+        self.seq = seq
+        self.job_id = job_id
+        self.app = app
+        self.submit = submit
+        self.request = request
+
+    def matches_job(self, job: Any) -> bool:
+        """Whether a re-drawn job is identical to the journalled one.
+
+        Floats compare with ``==`` — re-draws are bit-identical by the
+        determinism contract, so any inequality is real divergence.
+        """
+        return (
+            job.job_id == self.job_id
+            and job.spec.name == self.app
+            and job.submit_time == self.submit
+            and job.request == self.request
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "v": 1,
+                "seq": self.seq,
+                "job": self.job_id,
+                "app": self.app,
+                "submit": self.submit,
+                "request": self.request,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "JournalEntry":
+        obj = json.loads(line)
+        if obj.get("v") != 1:
+            raise ValueError(f"unknown journal record version {obj.get('v')!r}")
+        return cls(
+            seq=int(obj["seq"]),
+            job_id=int(obj["job"]),
+            app=str(obj["app"]),
+            submit=float(obj["submit"]),
+            request=int(obj["request"]),
+        )
+
+    @classmethod
+    def from_job(cls, seq: int, job: Any) -> "JournalEntry":
+        return cls(
+            seq=seq,
+            job_id=job.job_id,
+            app=job.spec.name,
+            submit=job.submit_time,
+            request=job.request,
+        )
+
+
+class ArrivalJournal:
+    """Append-only, fsync'd JSONL journal of drawn arrivals.
+
+    Parameters
+    ----------
+    path:
+        Journal file.  Parent directories are created on first append.
+    resume:
+        ``True`` loads surviving records (a restart); ``False`` (a
+        fresh service) truncates any existing journal.
+    """
+
+    def __init__(self, path: os.PathLike, resume: bool = False) -> None:
+        self.path = Path(path)
+        self.resume = resume
+        self.entries: Dict[int, JournalEntry] = {}
+        self.torn_tail = False
+        #: intact records whose seq had already appeared (last wins)
+        self.duplicates = 0
+        if resume:
+            self.entries = dict(self.load(self.path))
+        elif self.path.exists():
+            self.path.unlink()
+        self._handle: Optional[IO[bytes]] = None
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def load(self, path: Path) -> Iterator[Tuple[int, JournalEntry]]:
+        """Yield ``(seq, entry)`` for every intact record in *path*.
+
+        Stops at the first unparseable line — by construction that can
+        only be a torn tail (each record is one ``write`` + fsync).
+        Duplicate seqs yield each occurrence in file order; consumed
+        through ``dict()`` the **last** record wins.
+        """
+        if not path.exists():
+            return
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return
+        seen = set()
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                entry = JournalEntry.from_json(line.decode("utf-8"))
+            except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                self.torn_tail = True
+                break
+            if entry.seq in seen:
+                self.duplicates += 1
+            seen.add(entry.seq)
+            yield entry.seq, entry
+
+    def tail_after(self, seq: int) -> List[JournalEntry]:
+        """Journalled entries with sequence numbers beyond *seq*, in order.
+
+        These are the arrivals drawn after the snapshot at *seq* was
+        taken — the replay-verify expectations for recovery.
+        """
+        return [self.entries[s] for s in sorted(self.entries) if s > seq]
+
+    @property
+    def max_seq(self) -> int:
+        """Highest journalled sequence number (0 when empty)."""
+        return max(self.entries, default=0)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, entry: JournalEntry) -> None:
+        """Durably record one drawn arrival.
+
+        Written in one ``write`` call, flushed, and ``fsync``'d before
+        this returns — after that, no crash can lose the fact that the
+        arrival entered the system.
+        """
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "ab")
+        self._handle.write(entry.to_json().encode("utf-8") + b"\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.entries[entry.seq] = entry
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ArrivalJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

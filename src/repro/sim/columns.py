@@ -492,10 +492,16 @@ class RunningMean:
     """Running-sum fold of a sample stream (sum / count / max-procs).
 
     Replaces the SelfAnalyzer's per-sample list append + whole-list
-    ``sum()`` at baseline close.  Python's ``sum(list)`` folds left to
-    right, so accumulating ``total += x`` per sample is bit-identical
-    to summing the retained list — the parity suite checks this with
-    NaN/inf/-0.0 payloads.
+    ``sum()`` at baseline close.  Accumulating ``total += x`` per
+    sample is bit-identical to an explicit left fold over the retained
+    list (``acc = 0.0; acc = acc + x`` per element) — the parity suite
+    checks this with NaN/inf/-0.0 payloads.  It is *not* guaranteed to
+    match the ``sum()`` builtin on every interpreter: CPython 3.12+
+    uses Neumaier compensated summation for floats, and NaN-payload
+    propagation differs between the two foldings even earlier.  Every
+    consumer that needs fold-equality (``repro.metrics``) therefore
+    folds through :func:`repro.metrics.stats.fold_sum`, never the
+    builtin.
     """
 
     __slots__ = ("total", "count", "max_procs")

@@ -60,6 +60,17 @@ class RandomStreams:
         """Create an independent child factory (e.g. one per job)."""
         return RandomStreams(derive_seed(self._master_seed, f"spawn:{name}"))
 
+    def discard(self, name: str) -> bool:
+        """Forget one stream (True if it existed).
+
+        Per-job streams (``iter-noise:<id>``) would otherwise pin one
+        Mersenne Twister state per job ever processed — an unbounded
+        leak for the streaming service.  Discarding is safe only for
+        streams that will never be drawn again: recreating the name
+        restarts it from its derived seed, not where it left off.
+        """
+        return self._streams.pop(name, None) is not None
+
     def reset(self) -> None:
         """Forget all streams; they are rebuilt deterministically."""
         self._streams.clear()

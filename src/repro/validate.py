@@ -32,6 +32,13 @@ payload or an accounted quarantine), the stats must balance
 completed cell must be journalled when a journal is in use, and every
 journal digest must match the payload bytes it promises.
 
+:func:`validate_stream` audits a **streaming service** at any instant:
+submissions must be conserved across admitted/shed/live/terminal
+states, a configured ingress bound must never have been exceeded (the
+recorded peak is checked, so the bound cannot lie retroactively), and
+a restored session must have consumed every arrival-journal replay
+expectation — the recovery fixed point.
+
 :func:`validate_checkpoint` audits a **snapshot file**: the envelope
 must verify (magic, lengths, sha256), the payload must restore into a
 session of the current code version, the envelope meta must describe
@@ -59,7 +66,7 @@ _EPS = 1e-6
 #: so the same violations always render in the same sequence (race
 #: findings come last — they are the report footer).
 LAYER_ORDER: Tuple[str, ...] = (
-    "job", "trace", "alloc", "fault", "sweep", "checkpoint", "race",
+    "job", "trace", "alloc", "fault", "stream", "sweep", "checkpoint", "race",
 )
 
 
@@ -143,6 +150,11 @@ CHECKPOINT_CHECK_CODES: Tuple[str, ...] = (
     "ckpt-meta",
     "ckpt-compaction",
     "ckpt-wedged",
+)
+STREAM_CHECK_CODES: Tuple[str, ...] = (
+    "stream-conservation",
+    "stream-bounded-queue",
+    "stream-recovery",
 )
 
 
@@ -271,7 +283,7 @@ def validate_sweep(
     return _ordered(problems)
 
 
-def validate_checkpoint(path, expected_config=None) -> List[str]:
+def validate_checkpoint(path, expected_config=None, session_cls=None) -> List[str]:
     """Audit one checkpoint snapshot; returns violations (empty = ok).
 
     Verifies the envelope (magic, section lengths, sha256), restores
@@ -283,9 +295,16 @@ def validate_checkpoint(path, expected_config=None) -> List[str]:
     live-count invariant intact.  A snapshot that passes restores
     into a run whose continuation is byte-identical to the
     uninterrupted one.
+
+    *session_cls* selects which session class restores the snapshot —
+    each kind of session tags its envelopes (``meta["kind"]``), so a
+    serve snapshot must be audited with
+    :class:`~repro.serve.ServeSession`, not the batch default.
     """
     from repro.checkpoint import CheckpointError, SimulationSession, read_snapshot
 
+    if session_cls is None:
+        session_cls = SimulationSession
     try:
         meta, _ = read_snapshot(path)
     except CheckpointError as exc:
@@ -293,7 +312,7 @@ def validate_checkpoint(path, expected_config=None) -> List[str]:
             "ckpt-envelope", "checkpoint", f"envelope ({exc.kind}): {exc}"
         )]
     try:
-        session = SimulationSession.restore(path, expected_config=expected_config)
+        session = session_cls.restore(path, expected_config=expected_config)
     except CheckpointError as exc:
         return [Violation(
             "ckpt-restore", "checkpoint", f"restore ({exc.kind}): {exc}"
@@ -337,6 +356,116 @@ def validate_checkpoint(path, expected_config=None) -> List[str]:
             "no pending events but the run is not complete (wedged graph)",
         ))
     return _ordered(problems)
+
+
+def validate_stream(session, race=None) -> List[str]:
+    """Audit a streaming (:class:`~repro.serve.ServeSession`) service.
+
+    Callable at *any* instant — between run-loop batches, at drain, or
+    on a freshly restored session — because every invariant is stated
+    over monotone counters and current live state:
+
+    * **stream-conservation** — every submission is accounted exactly
+      once (``submitted == admitted + shed_rejected``) and every
+      admitted job is live or terminal
+      (``admitted == live + completed + failed + shed_dropped``);
+      requeues never exceed what the retry policy could have issued.
+    * **stream-bounded-queue** — a configured ingress bound was honest:
+      neither the current backlog nor the recorded peak ever exceeded
+      the bound plus the retry re-entries issued (a killed job's retry
+      re-enters without passing admission control — admitted work is
+      never shed on retry — so retry-free runs get the strict bound).
+    * **stream-recovery** — a restored pump consumed every journal
+      replay expectation; leftovers mean the source under-drew and the
+      restored stream is NOT a fixed point of the crashed one.
+    """
+    problems: List[str] = []
+    stats = session.qs.stats
+    qs = session.qs
+    pump = session.pump
+
+    live = qs.live_jobs
+    if stats.submitted != stats.admitted + stats.shed_rejected:
+        problems.append(Violation(
+            "stream-conservation", "stream",
+            f"submissions unaccounted: submitted {stats.submitted} != "
+            f"admitted {stats.admitted} + rejected {stats.shed_rejected}",
+        ))
+    accounted = live + stats.completed + stats.failed + stats.shed_dropped
+    if stats.admitted != accounted:
+        problems.append(Violation(
+            "stream-conservation", "stream",
+            f"admissions unaccounted: admitted {stats.admitted} != "
+            f"live {live} + completed {stats.completed} + failed "
+            f"{stats.failed} + dropped {stats.shed_dropped}",
+        ))
+    # A job fails only on its max_retries-th kill, so it was requeued
+    # (max_retries - 1) times before that — a floor on total requeues.
+    requeue_floor = stats.failed * max(0, qs.retry.max_retries - 1)
+    if stats.requeues < requeue_floor:
+        problems.append(Violation(
+            "stream-conservation", "stream",
+            f"{stats.failed} job(s) failed after fewer total requeues "
+            f"({stats.requeues}) than the retry policy mandates "
+            f"(>= {requeue_floor})",
+        ))
+
+    bound = qs.ingress.max_queue
+    if bound > 0:
+        # The bound caps *admissions*; a killed job's retry re-enters
+        # the queue without passing admission control (admitted work is
+        # never shed on retry), so the provable cap is the bound plus
+        # the retry re-entries ever issued — exactly the strict bound
+        # in retry-free runs.  Found by the streaming fuzzer: a
+        # crash-requeue under a full queue legitimately reaches
+        # backlog == bound + 1.
+        slack = bound + stats.requeues
+        if len(qs.queue) > slack:
+            problems.append(Violation(
+                "stream-bounded-queue", "stream",
+                f"backlog {len(qs.queue)} exceeds the ingress bound "
+                f"{bound} plus {stats.requeues} retry re-entries",
+            ))
+        if qs.peak_queue > slack:
+            problems.append(Violation(
+                "stream-bounded-queue", "stream",
+                f"recorded peak backlog {qs.peak_queue} exceeds the "
+                f"ingress bound {bound} plus {stats.requeues} retry "
+                f"re-entries (the bound lied)",
+            ))
+        if qs.ingress.policy != "block" and pump.blocked:
+            problems.append(Violation(
+                "stream-bounded-queue", "stream",
+                f"pump holds a blocked arrival under the "
+                f"{qs.ingress.policy!r} policy (only 'block' may hold)",
+            ))
+
+    if pump.replay:
+        problems.append(Violation(
+            "stream-recovery", "stream",
+            f"{len(pump.replay)} journalled arrival(s) never re-drawn "
+            f"after restore (first unconsumed seq "
+            f"{pump.replay[0].seq}); the restored stream is not a "
+            f"fixed point of the crashed one",
+        ))
+    if pump.done and qs.all_done and live != 0:
+        problems.append(Violation(
+            "stream-conservation", "stream",
+            f"drained stream still reports {live} live job(s)",
+        ))
+
+    problems.extend(validate_race(race))
+    return _ordered(problems)
+
+
+def assert_stream_valid(session, race=None) -> None:
+    """Raise ``AssertionError`` listing all stream violations, if any."""
+    problems = validate_stream(session, race=race)
+    if problems:
+        raise AssertionError(
+            f"{len(problems)} stream invariant violation(s):\n"
+            + render_violations(problems)
+        )
 
 
 def assert_sweep_valid(runner, cells, payloads, race=None) -> None:

@@ -34,10 +34,16 @@ from repro.qs.queuing import NanosQS
 from repro.validate import (
     CHECKPOINT_CHECK_CODES,
     RUN_CHECK_CODES,
+    STREAM_CHECK_CODES,
     SWEEP_CHECK_CODES,
 )
 
-ALL_POSTHOC_CODES = RUN_CHECK_CODES + SWEEP_CHECK_CODES + CHECKPOINT_CHECK_CODES
+ALL_POSTHOC_CODES = (
+    RUN_CHECK_CODES
+    + SWEEP_CHECK_CODES
+    + CHECKPOINT_CHECK_CODES
+    + STREAM_CHECK_CODES
+)
 
 
 def _dropped_kill(self, job, reason):

@@ -7,6 +7,8 @@ from repro.qs.job import Job
 from repro.qs.swf import (
     SWF_FIELDS,
     SwfJob,
+    SwfParseStats,
+    iter_swf,
     jobs_from_swf,
     jobs_to_swf,
     parse_swf,
@@ -115,3 +117,98 @@ class TestJobConversion:
         records = [SwfJob(1, 0.0, executable=9)]
         with pytest.raises(KeyError):
             jobs_from_swf(records, {1: linear_app})
+
+
+DIRTY_LOG = """\
+; SWF header banner
+; Computer: test cluster
+# a hash comment some archives use
+
+1 6.0 1 10 4 -1 -1 4 -1 -1 1 1 1 1 1 1 -1 -1
+garbage line that is not SWF
+2 5.0 1 -7 4 -1 -1 4 -1 -1 1 1 1 1 1 1 -1 -1
+3 4.0 1 10 4 -1 -1 4 -1 -1 1 1 1 1 1 1 -1 -1
+4 9.0 1 -1 4 -1 -1 4 -1 -1 1 1 1 1 1 1 -1 -1
+"""
+
+
+class TestLenientParsing:
+    """The incremental lenient reader (``iter_swf``) and its stats.
+
+    ``DIRTY_LOG`` packs every anomaly class into six data lines: a
+    banner, a hash comment, a blank line, a truncated line, a bogus
+    negative runtime (-7), an out-of-order submit time, and the spec's
+    legal ``run_time = -1`` "unknown" sentinel.
+    """
+
+    def test_strict_raises_on_first_anomaly(self):
+        with pytest.raises(ValueError, match="line 6"):
+            list(iter_swf(DIRTY_LOG, strict=True))
+
+    def test_lenient_skips_with_counts(self):
+        stats = SwfParseStats()
+        records = list(iter_swf(DIRTY_LOG, strict=False, stats=stats))
+        assert [r.job_number for r in records] == [1, 3, 4]  # stream order
+        assert stats.records == 3
+        assert stats.comments == 3
+        assert stats.blank == 1
+        assert stats.malformed == 1
+        assert stats.negative_runtime == 1
+        assert stats.skipped == 2
+        # iter_swf never reorders a stream
+        assert stats.out_of_order == 0
+
+    def test_minus_one_runtime_is_legal(self):
+        stats = SwfParseStats()
+        records = list(iter_swf(
+            "4 9.0 1 -1 4 -1 -1 4 -1 -1 1 1 1 1 1 1 -1 -1",
+            strict=False, stats=stats,
+        ))
+        assert len(records) == 1
+        assert records[0].run_time == -1
+        assert stats.negative_runtime == 0
+
+    def test_anomaly_line_numbers_sampled(self):
+        stats = SwfParseStats()
+        list(iter_swf(DIRTY_LOG, strict=False, stats=stats))
+        # the truncated line is line 6, the -7 runtime line 7
+        assert stats.anomaly_lines == [6, 7]
+
+    def test_anomaly_sample_is_bounded(self):
+        stats = SwfParseStats()
+        bad = "\n".join("not swf" for _ in range(50))
+        list(iter_swf(bad, strict=False, stats=stats))
+        assert stats.malformed == 50
+        assert len(stats.anomaly_lines) == stats._ANOMALY_SAMPLE
+
+    def test_parse_swf_lenient_resorts_out_of_order(self):
+        stats = SwfParseStats()
+        records = parse_swf(DIRTY_LOG, strict=False, stats=stats)
+        assert stats.out_of_order == 1
+        submits = [r.submit_time for r in records]
+        assert submits == sorted(submits)
+        # job 3 (submit 4.0) sorts ahead of job 1 (submit 6.0)
+        assert [r.job_number for r in records] == [3, 1, 4]
+
+    def test_parse_swf_strict_rejects_out_of_order(self):
+        clean_but_unsorted = (
+            "1 5.0 1 10 4 -1 -1 4 -1 -1 1 1 1 1 1 1 -1 -1\n"
+            "2 4.0 1 10 4 -1 -1 4 -1 -1 1 1 1 1 1 1 -1 -1\n"
+        )
+        with pytest.raises(ValueError, match="backwards"):
+            parse_swf(clean_but_unsorted, strict=True)
+
+    def test_summary_line_reports_every_class(self):
+        stats = SwfParseStats()
+        parse_swf(DIRTY_LOG, strict=False, stats=stats)
+        assert stats.summary_line() == (
+            "3 records, 3 comments, 1 malformed, 1 negative-runtime, "
+            "1 out-of-order"
+        )
+
+    def test_file_handle_source(self, tmp_path):
+        path = tmp_path / "dirty.swf"
+        path.write_text(DIRTY_LOG)
+        with open(path) as handle:
+            records = list(iter_swf(handle, strict=False))
+        assert len(records) == 3
