@@ -137,19 +137,33 @@ def _parse_minitoml_table(text: str, table: str) -> Dict[str, object]:
     return values
 
 
-def _read_analysis_table(pyproject: Path) -> Dict[str, object]:
-    """The raw ``[tool.repro.analysis]`` mapping from *pyproject*."""
+def read_table(pyproject: Path, table: str) -> Dict[str, object]:
+    """The raw mapping of one dotted TOML table from *pyproject*.
+
+    Sub-tables of the requested table are dropped (values are strings
+    and string arrays only), matching what the mini-TOML fallback can
+    represent, so both parse paths agree.
+    """
     text = pyproject.read_text(encoding="utf-8")
     try:
         import tomllib
     except ImportError:
-        return _parse_minitoml_table(text, "tool.repro.analysis")
+        return _parse_minitoml_table(text, table)
     try:
         data = tomllib.loads(text)
     except tomllib.TOMLDecodeError:
         return {}
-    table = data.get("tool", {}).get("repro", {}).get("analysis", {})
-    return table if isinstance(table, dict) else {}
+    node: object = data
+    for part in table.split("."):
+        node = node.get(part, {}) if isinstance(node, dict) else {}
+    if not isinstance(node, dict):
+        return {}
+    return {key: value for key, value in node.items() if not isinstance(value, dict)}
+
+
+def _read_analysis_table(pyproject: Path) -> Dict[str, object]:
+    """The raw ``[tool.repro.analysis]`` mapping from *pyproject*."""
+    return read_table(pyproject, "tool.repro.analysis")
 
 
 def find_pyproject(start: Union[str, Path]) -> Optional[Path]:

@@ -1,0 +1,500 @@
+"""Per-function effect inference with interprocedural propagation.
+
+For every project function this pass computes which module globals it
+reads and writes, which ``self`` attributes and parameters it mutates,
+and which ambient effects (RNG draws, clock reads, file/console I/O,
+environment reads, subprocess spawns) it performs — first locally from
+the AST, then transitively through the resolved call graph to a
+fixpoint.  A light escape analysis also records where module-level
+mutable objects leak out of their defining module (returned, passed to
+a call, or stored onto an object), which is what the LP-boundary rules
+and the effect manifest consume.
+
+Globals are identified as ``"module.name:NAME"`` strings so they sort
+deterministically and survive JSON round-trips.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.rules.base import attr_chain
+from repro.analysis.rules.randomness import ENTROPY_ORIGINS, GLOBAL_RANDOM_FNS
+from repro.analysis.rules.wallclock import MONOTONIC_ORIGINS, WALLCLOCK_ORIGINS
+
+from repro.analysis.flow.project import FunctionInfo, ModuleInfo, Project
+
+#: Methods that mutate their receiver in place.
+MUTATOR_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "insert", "pop", "popitem", "popleft", "remove", "reverse",
+    "rotate", "setdefault", "sort", "update",
+})
+
+_CLOCK_DOTTED = frozenset(".".join(t) for t in WALLCLOCK_ORIGINS)
+_MONO_DOTTED = frozenset(".".join(t) for t in MONOTONIC_ORIGINS)
+_ENTROPY_DOTTED = frozenset(".".join(t) for t in ENTROPY_ORIGINS)
+
+
+def classify_source(origin: str, has_args: bool) -> Optional[str]:
+    """Nondeterminism kind of a resolved call origin, if any.
+
+    Returns ``"wallclock"``, ``"monotonic"``, ``"rng"`` or ``None``.
+    Matches the syntactic rules' origin tables: ``random.*`` global
+    draws, unseeded ``random.Random()``, ``numpy.random``, entropy
+    sources, and the clock families.
+    """
+    if origin in _CLOCK_DOTTED:
+        return "wallclock"
+    if origin in _MONO_DOTTED:
+        return "monotonic"
+    parts = origin.split(".")
+    if len(parts) >= 2 and parts[0] == "random" and parts[-1] in GLOBAL_RANDOM_FNS:
+        return "rng"
+    if origin == "random.Random" and not has_args:
+        return "rng"
+    if parts[:2] == ["numpy", "random"]:
+        return "rng"
+    if origin in _ENTROPY_DOTTED or parts[0] == "secrets":
+        return "rng"
+    return None
+
+
+_PROCESS_ORIGINS = frozenset({
+    "subprocess.run", "subprocess.Popen", "subprocess.call",
+    "subprocess.check_call", "subprocess.check_output",
+    "os.system", "os.popen", "os.spawnv", "os.fork",
+})
+_ENV_ORIGINS = frozenset({"os.environ", "os.getenv", "os.environb"})
+_WRITE_MODES = ("w", "a", "x", "+")
+
+
+def global_key(module: str, name: str) -> str:
+    """Stable identifier for a module-level binding."""
+    return f"{module}:{name}"
+
+
+@dataclass
+class FunctionEffects:
+    """Everything a function does to the world, transitively."""
+
+    global_reads: Set[str] = field(default_factory=set)
+    global_writes: Set[str] = field(default_factory=set)
+    #: names of ``self`` attributes whose value is assigned or mutated
+    self_writes: Set[str] = field(default_factory=set)
+    #: names of parameters whose referent is mutated
+    param_writes: Set[str] = field(default_factory=set)
+    #: {"rng", "wallclock", "monotonic", "file-read", "file-write",
+    #:  "stdout", "env", "process"}
+    ambient: Set[str] = field(default_factory=set)
+
+    def mutates_shared_state(self) -> bool:
+        """Whether calling this function can change caller-visible state."""
+        return bool(self.global_writes or self.self_writes or self.param_writes)
+
+    def snapshot(self) -> Tuple[FrozenSet[str], ...]:
+        return (
+            frozenset(self.global_reads),
+            frozenset(self.global_writes),
+            frozenset(self.self_writes),
+            frozenset(self.param_writes),
+            frozenset(self.ambient),
+        )
+
+
+@dataclass
+class CallSite:
+    """One resolved call edge, with enough shape to map effects back."""
+
+    callee: str
+    line: int
+    col: int
+    #: attribute chain of the receiver (``("self", "machine")`` for
+    #: ``self.machine.resize(...)``), or None for plain calls
+    receiver: Optional[Tuple[str, ...]]
+    #: positional argument base names (None for non-trivial expressions)
+    arg_names: Tuple[Optional[str], ...]
+
+
+@dataclass
+class EscapeInfo:
+    """Where a module-level mutable object leaks out of its module."""
+
+    key: str
+    #: sorted qnames of functions that let it escape
+    via: Set[str] = field(default_factory=set)
+
+
+class _EffectWalker(ast.NodeVisitor):
+    """Single-function local pass: direct effects plus call sites."""
+
+    def __init__(self, project: Project, module: ModuleInfo, fn: FunctionInfo) -> None:
+        self.project = project
+        self.module = module
+        self.fn = fn
+        self.effects = FunctionEffects()
+        self.calls: List[CallSite] = []
+        self.escapes: Set[str] = set()
+        self.global_decls: Set[str] = set()
+        self.local_names: Set[str] = set(fn.params)
+        #: local variable -> class qname, from annotations/constructors
+        self.local_types: Dict[str, str] = {}
+        for param, names in fn.param_annotations.items():
+            for type_name in names:
+                resolved = project.resolve_class_name(module, type_name)
+                if resolved is not None:
+                    self.local_types[param] = resolved
+                    break
+
+    # -- name classification -------------------------------------------
+    def _collect_locals(self, node: ast.AST) -> None:
+        for inner in ast.walk(node):
+            if isinstance(inner, (ast.Global, ast.Nonlocal)):
+                self.global_decls.update(inner.names)
+            elif isinstance(inner, ast.Name) and isinstance(
+                inner.ctx, (ast.Store, ast.Del)
+            ):
+                self.local_names.add(inner.id)
+            elif isinstance(inner, (ast.For, ast.AsyncFor)):
+                for name_node in ast.walk(inner.target):
+                    if isinstance(name_node, ast.Name):
+                        self.local_names.add(name_node.id)
+        self.local_names -= self.global_decls
+
+    def _is_module_global(self, name: str) -> bool:
+        if name in self.global_decls:
+            return True
+        return name in self.module.globals and name not in self.local_names
+
+    def _cross_global(self, chain: Tuple[str, ...]) -> Optional[str]:
+        """Another project module's global referenced through an import.
+
+        Covers both idioms: ``import lp_machine`` + ``lp_machine.EVENTS``
+        (chain ``("lp_machine", "EVENTS")``) and ``from lp_machine
+        import EVENTS`` + ``EVENTS`` (chain ``("EVENTS",)``).
+        """
+        if not chain or chain[0] not in self.module.imports:
+            return None
+        origin = self.module.imports[chain[0]] + tuple(chain[1:])
+        target, rest = self.project.module_of_origin(origin)
+        if target is None or len(rest) != 1:
+            return None
+        if rest[0] in self.project.modules[target].globals:
+            return global_key(target, rest[0])
+        return None
+
+    def _classify_write(self, base: ast.expr) -> None:
+        """Record a mutation of whatever object *base* names."""
+        chain = attr_chain(base)
+        if not chain:
+            return
+        head = chain[0]
+        if head == "self" and self.fn.is_method:
+            if len(chain) >= 2:
+                self.effects.self_writes.add(chain[1])
+            else:
+                self.effects.param_writes.add("self")
+            return
+        cross = self._cross_global(tuple(chain[:2]))
+        if cross is not None:
+            self.effects.global_writes.add(cross)
+            return
+        if self._is_module_global(head):
+            self.effects.global_writes.add(global_key(self.module.name, head))
+        elif head in self.fn.params:
+            self.effects.param_writes.add(head)
+
+    # -- visitors ------------------------------------------------------
+    def run(self) -> None:
+        body = self.fn.node.body
+        for stmt in body:
+            self._collect_locals(stmt)
+        for stmt in body:
+            self.visit(stmt)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._visit_target(target)
+        if (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+        ):
+            chain = attr_chain(node.value.func)
+            if chain:
+                resolved = self.project.resolve_class_name(self.module, chain[-1])
+                if resolved is not None:
+                    self.local_types[node.targets[0].id] = resolved
+        self._note_escape_expr(node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._visit_target(node.target)
+        if node.value is not None:
+            self._note_escape_expr(node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._visit_target(node.target)
+        if isinstance(node.target, ast.Name) and self._is_module_global(node.target.id):
+            self.effects.global_reads.add(global_key(self.module.name, node.target.id))
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._visit_target(target)
+        self.generic_visit(node)
+
+    def _visit_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.global_decls:
+                self.effects.global_writes.add(
+                    global_key(self.module.name, target.id)
+                )
+            # track constructor-typed locals for call resolution
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._visit_target(element)
+            return
+        if isinstance(target, ast.Subscript):
+            self._classify_write(target.value)
+            return
+        if isinstance(target, ast.Attribute):
+            self._classify_write(target)
+            return
+        if isinstance(target, ast.Starred):
+            self._visit_target(target.value)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            if self._is_module_global(node.id):
+                self.effects.global_reads.add(
+                    global_key(self.module.name, node.id)
+                )
+            else:
+                cross = self._cross_global((node.id,))
+                if cross is not None:
+                    self.effects.global_reads.add(cross)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        chain = attr_chain(node)
+        if chain and isinstance(node.ctx, ast.Load):
+            cross = self._cross_global(tuple(chain[:2]))
+            if cross is not None:
+                self.effects.global_reads.add(cross)
+            if ".".join(chain) in _ENV_ORIGINS or (
+                chain[0] in self.module.imports
+                and ".".join(self.module.imports[chain[0]] + tuple(chain[1:]))
+                in _ENV_ORIGINS
+            ):
+                self.effects.ambient.add("env")
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            self._note_escape_expr(node.value)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = attr_chain(node.func)
+        origin = self._origin_of(chain)
+        self._ambient_call(chain, origin, node)
+        if chain and len(chain) >= 2 and chain[-1] in MUTATOR_METHODS:
+            base = node.func
+            assert isinstance(base, ast.Attribute)
+            self._classify_write(base.value)
+        self._record_call(node, chain)
+        for arg in node.args:
+            self._note_escape_expr(arg)
+        for keyword in node.keywords:
+            self._note_escape_expr(keyword.value)
+        self.generic_visit(node)
+
+    # -- helpers -------------------------------------------------------
+    def _origin_of(self, chain: List[str]) -> str:
+        if not chain:
+            return ""
+        if chain[0] in self.module.imports:
+            return ".".join(self.module.imports[chain[0]] + tuple(chain[1:]))
+        return ".".join(chain)
+
+    def _ambient_call(self, chain: List[str], origin: str, node: ast.Call) -> None:
+        effects = self.effects.ambient
+        source = classify_source(origin, has_args=bool(node.args or node.keywords))
+        if source is not None:
+            effects.add(source)
+        elif origin in _PROCESS_ORIGINS:
+            effects.add("process")
+        elif origin in _ENV_ORIGINS:
+            effects.add("env")
+        elif origin == "print":
+            effects.add("stdout")
+        elif origin in ("open", "io.open", "pathlib.Path.open"):
+            effects.add(self._open_mode_effect(node))
+        elif chain and chain[-1] in ("read_text", "read_bytes"):
+            effects.add("file-read")
+        elif chain and chain[-1] in ("write_text", "write_bytes"):
+            effects.add("file-write")
+
+    @staticmethod
+    def _open_mode_effect(node: ast.Call) -> str:
+        mode: Optional[str] = None
+        if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+            if isinstance(node.args[1].value, str):
+                mode = node.args[1].value
+        for keyword in node.keywords:
+            if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant):
+                if isinstance(keyword.value.value, str):
+                    mode = keyword.value.value
+        if mode is not None and any(flag in mode for flag in _WRITE_MODES):
+            return "file-write"
+        return "file-read"
+
+    def _record_call(self, node: ast.Call, chain: List[str]) -> None:
+        callees = self.project.resolve_call(self.fn, node, self.local_types)
+        if not callees:
+            return
+        receiver: Optional[Tuple[str, ...]] = None
+        if len(chain) >= 2:
+            receiver = tuple(chain[:-1])
+        arg_names = tuple(
+            arg.id if isinstance(arg, ast.Name) else None for arg in node.args
+        )
+        for callee in callees:
+            self.calls.append(
+                CallSite(
+                    callee=callee,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    receiver=receiver,
+                    arg_names=arg_names,
+                )
+            )
+
+    def _note_escape_expr(self, node: ast.expr) -> None:
+        """Module-global mutable objects flowing out via this expression."""
+        chain = attr_chain(node)
+        if not chain:
+            return
+        head = chain[0]
+        if self._is_module_global(head):
+            info = self.module.globals.get(head)
+            if info is not None and info.mutable:
+                self.escapes.add(global_key(self.module.name, head))
+
+
+@dataclass
+class EffectAnalysis:
+    """Project-wide effect results."""
+
+    project: Project
+    #: transitively propagated effects, per function qname
+    effects: Dict[str, FunctionEffects]
+    #: local-only effects, before call-graph propagation
+    direct: Dict[str, FunctionEffects]
+    calls: Dict[str, List[CallSite]]
+    escapes: Dict[str, EscapeInfo]
+
+    def effects_of(self, qname: str) -> FunctionEffects:
+        return self.effects.get(qname, FunctionEffects())
+
+
+def analyze_effects(project: Project) -> EffectAnalysis:
+    """Run the local pass everywhere, then propagate to a fixpoint."""
+    effects: Dict[str, FunctionEffects] = {}
+    calls: Dict[str, List[CallSite]] = {}
+    escapes: Dict[str, EscapeInfo] = {}
+    for qname in sorted(project.functions):
+        fn = project.functions[qname]
+        module = project.modules[fn.module]
+        walker = _EffectWalker(project, module, fn)
+        walker.run()
+        effects[qname] = walker.effects
+        calls[qname] = walker.calls
+        for key in sorted(walker.escapes):
+            escapes.setdefault(key, EscapeInfo(key=key)).via.add(qname)
+    direct = {
+        qname: FunctionEffects(
+            global_reads=set(fx.global_reads),
+            global_writes=set(fx.global_writes),
+            self_writes=set(fx.self_writes),
+            param_writes=set(fx.param_writes),
+            ambient=set(fx.ambient),
+        )
+        for qname, fx in effects.items()
+    }
+    _propagate(project, effects, calls)
+    return EffectAnalysis(
+        project=project, effects=effects, direct=direct, calls=calls, escapes=escapes
+    )
+
+
+def _propagate(
+    project: Project,
+    effects: Dict[str, FunctionEffects],
+    calls: Dict[str, List[CallSite]],
+) -> None:
+    """Push callee effects into callers until nothing changes."""
+    for _ in range(30):
+        changed = False
+        for qname in sorted(effects):
+            own = effects[qname]
+            before = own.snapshot()
+            fn = project.functions[qname]
+            for site in calls[qname]:
+                callee_fx = effects.get(site.callee)
+                if callee_fx is None:
+                    continue
+                own.global_reads |= callee_fx.global_reads
+                own.global_writes |= callee_fx.global_writes
+                own.ambient |= callee_fx.ambient
+                _map_mutations(fn, site, callee_fx, own, project)
+            if own.snapshot() != before:
+                changed = True
+        if not changed:
+            return
+
+
+def _map_mutations(
+    fn: FunctionInfo,
+    site: CallSite,
+    callee_fx: FunctionEffects,
+    own: FunctionEffects,
+    project: Project,
+) -> None:
+    """Translate a callee's self/param mutations into the caller's frame."""
+    callee = project.functions.get(site.callee)
+    if callee is None:
+        return
+    # receiver mutation: callee touching its `self` touches our receiver
+    if callee.is_method and site.receiver is not None and (
+        callee_fx.self_writes or "self" in callee_fx.param_writes
+    ):
+        head = site.receiver[0]
+        if head == "self" and fn.is_method:
+            if len(site.receiver) == 1:
+                own.self_writes |= callee_fx.self_writes
+            else:
+                own.self_writes.add(site.receiver[1])
+        elif head in fn.params:
+            own.param_writes.add(head)
+    # positional-argument mutation
+    offset = 1 if callee.is_method else 0
+    for index, arg_name in enumerate(site.arg_names):
+        if arg_name is None:
+            continue
+        position = offset + index
+        if position >= len(callee.params):
+            break
+        if callee.params[position] not in callee_fx.param_writes:
+            continue
+        if arg_name == "self" and fn.is_method:
+            own.param_writes.add("self")
+        elif arg_name in fn.params:
+            own.param_writes.add(arg_name)
+        elif arg_name in project.modules[fn.module].globals:
+            own.global_writes.add(global_key(fn.module, arg_name))

@@ -1,0 +1,132 @@
+"""The committed effect manifest: one JSON snapshot of the coupling.
+
+``repro lint --deep --update-manifest`` regenerates
+``effects-manifest.json`` at the repository root; CI regenerates it
+again and fails on ``git diff``, so any PR that adds a new ambient
+effect, a new mutable module global, or a new cross-boundary mutation
+has to show that change in review as a manifest diff.
+
+Determinism is the whole point: modules, functions and effect sets are
+emitted in sorted order with sorted keys, so the same source tree
+produces byte-identical output on every machine and Python version.
+Volatile inputs (absolute paths, timestamps) are excluded by
+construction — modules are keyed by dotted name, never by path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.analysis.flow.boundary import BoundaryConfig
+from repro.analysis.flow.effects import EffectAnalysis
+
+#: Bumped when the manifest shape changes incompatibly.
+MANIFEST_FORMAT = 1
+
+
+def build_manifest(
+    analysis: EffectAnalysis, boundaries: Optional[BoundaryConfig] = None
+) -> Dict[str, object]:
+    """Reduce the effect analysis to its committed JSON form."""
+    project = analysis.project
+    modules: Dict[str, Dict[str, object]] = {}
+
+    for module_name in sorted(project.modules):
+        module = project.modules[module_name]
+        entry: Dict[str, object] = {}
+
+        ambient: Dict[str, List[str]] = {}
+        for fn_name in sorted(project.functions):
+            fn = project.functions[fn_name]
+            if fn.module != module_name:
+                continue
+            direct = analysis.direct.get(fn_name)
+            if direct is not None and direct.ambient:
+                ambient[fn_name] = sorted(direct.ambient)
+        if ambient:
+            entry["ambient"] = ambient
+
+        global_entries: Dict[str, Dict[str, object]] = {}
+        for global_name in sorted(module.globals):
+            info = module.globals[global_name]
+            key = f"{module_name}:{global_name}"
+            writers = sorted(
+                fn_name
+                for fn_name in analysis.direct
+                if key in analysis.direct[fn_name].global_writes
+            )
+            escapes = analysis.escapes.get(key)
+            if not info.mutable and not writers and escapes is None:
+                continue
+            record: Dict[str, object] = {"mutable": info.mutable}
+            if writers:
+                record["writers"] = writers
+            if escapes is not None:
+                record["escapes_via"] = sorted(escapes.via)
+            global_entries[global_name] = record
+        if global_entries:
+            entry["globals"] = global_entries
+
+        if entry:
+            modules[module_name] = entry
+
+    data: Dict[str, object] = {
+        "format": MANIFEST_FORMAT,
+        "modules": modules,
+        "stats": {
+            "functions": len(project.functions),
+            "modules": len(project.modules),
+            "resolved_calls": project.resolved_calls,
+            "unresolved_calls": project.unresolved_calls,
+        },
+    }
+    if boundaries is not None and boundaries:
+        data["boundaries"] = {
+            "sides": {side: list(prefixes) for side, prefixes in boundaries.sides},
+            "channels": [
+                f"{caller} -> {callee}" for caller, callee in boundaries.channels
+            ],
+            "session_roots": list(boundaries.session_roots),
+        }
+        data["cross_boundary"] = _cross_boundary_edges(analysis, boundaries)
+    return data
+
+
+def _cross_boundary_edges(
+    analysis: EffectAnalysis, boundaries: BoundaryConfig
+) -> List[Dict[str, object]]:
+    """Every mutating call edge that crosses the cut, channel or not."""
+    project = analysis.project
+    edges: List[Dict[str, object]] = []
+    seen = set()
+    for qname in sorted(project.functions):
+        fn = project.functions[qname]
+        caller_side = boundaries.side_of(fn.module)
+        if caller_side is None:
+            continue
+        for site in analysis.calls.get(qname, []):
+            callee = project.functions.get(site.callee)
+            if callee is None:
+                continue
+            callee_side = boundaries.side_of(callee.module)
+            if callee_side is None or callee_side == caller_side:
+                continue
+            if not analysis.effects_of(site.callee).mutates_shared_state():
+                continue
+            key = (qname, site.callee)
+            if key in seen:
+                continue
+            seen.add(key)
+            edges.append({
+                "caller": qname,
+                "callee": site.callee,
+                "channel": boundaries.is_channel(fn.module, site.callee),
+                "direction": f"{caller_side}->{callee_side}",
+            })
+    return edges
+
+
+def render_manifest(data: Dict[str, object]) -> str:
+    """Byte-stable JSON text (sorted keys, trailing newline)."""
+    return json.dumps(data, sort_keys=True, indent=2) + "\n"

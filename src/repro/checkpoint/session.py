@@ -57,6 +57,10 @@ from repro.parallel.cache import canonical_dumps, code_version
 
 if TYPE_CHECKING:  # import cycle: common builds sessions
     from repro.experiments.common import ExperimentConfig, RunOutput
+    from repro.metrics.trace import TraceRecorder
+    from repro.qs.queuing import NanosQS
+    from repro.rm.manager import BaseResourceManager
+    from repro.sim.engine import Simulator
 
 #: pickle protocol for snapshot payloads — 4 is supported by every
 #: Python this package runs on, so snapshots written under one minor
@@ -128,10 +132,10 @@ class SimulationSession:
         policy_name: str,
         load: float,
         config: "ExperimentConfig",
-        sim: Any,
-        rm: Any,
-        qs: Any,
-        trace: Any,
+        sim: "Simulator",
+        rm: "BaseResourceManager",
+        qs: "NanosQS",
+        trace: "TraceRecorder",
         jobs: List[Any],
         workload: Optional[str] = None,
         request_overrides: Optional[Dict[str, int]] = None,

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments import fig3, fig5_table2, fig7_fig8, tables, workloads
@@ -321,6 +322,18 @@ def build_parser() -> argparse.ArgumentParser:
              "(tracked modifications plus untracked files); "
              "overrides the path arguments",
     )
+    p_lint.add_argument(
+        "--deep", action="store_true",
+        help="also run the interprocedural flow tier: effect/taint "
+             "analysis (DET2xx) and LP-boundary rules (CONC3xx); with "
+             "--changed the whole project is analysed but only "
+             "findings in changed files are reported",
+    )
+    p_lint.add_argument(
+        "--update-manifest", action="store_true",
+        help="with --deep: regenerate the committed effect manifest "
+             "(effects-manifest.json next to pyproject.toml)",
+    )
     return parser
 
 
@@ -494,43 +507,113 @@ def cmd_run(args: argparse.Namespace, sanitizer=None) -> str:
 
 
 def _changed_python_files() -> List[str]:
-    """Python files changed vs. git HEAD (tracked diffs + untracked)."""
+    """Python files changed vs. git HEAD (tracked diffs + untracked).
+
+    Robust against the states a working tree actually gets into:
+    deleted files are skipped (nothing left to lint), renames report
+    the *new* path, paths with spaces or non-ASCII names survive
+    (NUL-separated plumbing output, no quoting), and running from a
+    subdirectory works — git reports repo-root-relative paths, so they
+    are re-anchored at the toplevel before the existence check.
+    """
+    import os
     import subprocess
 
-    files: set = set()
-    for cmd in (
-        ["git", "diff", "--name-only", "HEAD"],
-        ["git", "ls-files", "--others", "--exclude-standard"],
-    ):
+    def git(cmd: List[str]) -> str:
         try:
-            output = subprocess.run(
-                cmd, capture_output=True, text=True, check=True
+            return subprocess.run(
+                ["git", *cmd], capture_output=True, text=True, check=True
             ).stdout
         except (OSError, subprocess.CalledProcessError) as exc:
             raise SystemExit(f"--changed needs a git checkout: {exc}")
-        files.update(line for line in output.splitlines() if line.endswith(".py"))
-    import os
 
-    return sorted(path for path in files if os.path.exists(path))
+    toplevel = git(["rev-parse", "--show-toplevel"]).strip()
+    candidates: set = set()
+    tokens = git(["diff", "--name-status", "-z", "-M", "HEAD"]).split("\0")
+    index = 0
+    while index < len(tokens):
+        status = tokens[index]
+        if not status:
+            index += 1
+            continue
+        # R/C records carry two paths (old, new); everything else one
+        width = 3 if status[:1] in ("R", "C") else 2
+        paths = tokens[index + 1:index + width]
+        index += width
+        if status[:1] == "D" or not paths:
+            continue
+        candidates.add(paths[-1])
+    for entry in git(["ls-files", "--others", "--exclude-standard", "-z"]).split("\0"):
+        if entry:
+            candidates.add(entry)
+    out = []
+    for rel in sorted(candidates):
+        if not rel.endswith(".py"):
+            continue
+        absolute = os.path.join(toplevel, rel)
+        if os.path.exists(absolute):
+            out.append(os.path.relpath(absolute))
+    return sorted(out)
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the static determinism sanitizer; exit code 1 on findings."""
     from repro.analysis import lint_paths, render_json, render_text
 
+    if args.update_manifest and not args.deep:
+        raise SystemExit("--update-manifest requires --deep")
+    changed_only: Optional[List[str]] = None
     if args.changed:
-        paths = _changed_python_files()
-        if not paths:
+        changed_only = _changed_python_files()
+        if not changed_only and not args.update_manifest:
             print("clean: no changed Python files")
             return 0
+        paths = changed_only
     else:
         paths = args.paths
-    findings = lint_paths(paths)
+    findings = lint_paths(paths) if paths else []
+    if args.deep:
+        findings = _deep_findings(args, paths, changed_only, findings)
     if args.format == "json":
         print(render_json(findings))
     else:
         print(render_text(findings))
     return 1 if findings else 0
+
+
+def _deep_findings(
+    args: argparse.Namespace,
+    paths: List[str],
+    changed_only: Optional[List[str]],
+    findings: List,
+) -> List:
+    """Add the flow tier's findings (and maybe rewrite the manifest).
+
+    With ``--changed``, the flow analysis still runs over the default
+    project root — interprocedural results are only meaningful for a
+    whole project — but reported findings are filtered to the changed
+    files.
+    """
+    import os
+
+    from repro.analysis import sort_findings
+    from repro.analysis.config import find_pyproject
+    from repro.analysis.flow.analyzer import analyze_paths
+
+    flow_roots = paths if changed_only is None else ["src/repro"]
+    report = analyze_paths(flow_roots)
+    flow = report.findings
+    if changed_only is not None:
+        changed_set = {os.path.realpath(path) for path in changed_only}
+        flow = [f for f in flow if os.path.realpath(f.path) in changed_set]
+    if args.update_manifest:
+        anchor = flow_roots[0] if flow_roots else "."
+        pyproject = find_pyproject(anchor)
+        root = pyproject.parent if pyproject is not None else Path(".")
+        target = root / "effects-manifest.json"
+        target.write_text(report.manifest_text(), encoding="utf-8")
+        print(f"effect manifest written: {target}", file=sys.stderr)
+    return sort_findings(list(findings) + flow)
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:

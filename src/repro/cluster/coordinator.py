@@ -81,6 +81,14 @@ class _DefaultSpan:
         return default_span(job, self.cluster)
 
 
+def _no_state_change() -> None:
+    """Default ``on_state_change``: no queuing system attached yet."""
+
+
+def _no_job_finished(job: Job) -> None:
+    """Default ``on_job_finished``: no queuing system attached yet."""
+
+
 class ClusterCoordinator(RuntimeHost):
     """PDPA-style coordinated scheduler for a cluster of SMPs.
 
@@ -116,8 +124,11 @@ class ClusterCoordinator(RuntimeHost):
         self.runtimes: Dict[int, NthLibRuntime] = {}
         self.reallocation_count = 0
         self.reallocations: List[ReallocationRecord] = []
-        self.on_state_change: Callable[[], None] = lambda: None
-        self.on_job_finished: Callable[[Job], None] = lambda job: None
+        # module-level defaults (not lambdas): a lambda here would make
+        # every checkpoint of a cluster session unpicklable, same trap
+        # _DefaultSpan exists to avoid
+        self.on_state_change: Callable[[], None] = _no_state_change
+        self.on_job_finished: Callable[[Job], None] = _no_job_finished
 
     # ------------------------------------------------------------------
     # cluster-wide queries

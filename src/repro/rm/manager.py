@@ -28,6 +28,18 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 
 
+def _no_state_change() -> None:
+    """Default ``on_state_change``: no queuing system attached yet."""
+
+
+def _no_job_finished(job: Job) -> None:
+    """Default ``on_job_finished``: no queuing system attached yet."""
+
+
+def _no_job_killed(job: Job, reason: str) -> None:
+    """Default ``on_job_killed``: no queuing system attached yet."""
+
+
 class BaseResourceManager(RuntimeHost):
     """Common plumbing for both execution models."""
 
@@ -59,13 +71,16 @@ class BaseResourceManager(RuntimeHost):
         self.report_filter: Optional[
             Callable[[Job, PerformanceReport], Optional[PerformanceReport]]
         ] = None
-        #: invoked after any event that may change admission decisions
-        self.on_state_change: Callable[[], None] = lambda: None
+        #: invoked after any event that may change admission decisions.
+        #: Module-level defaults (not lambdas) keep a freshly built RM
+        #: picklable: sessions checkpoint this object graph, and LP
+        #: state exchange will ship it between processes.
+        self.on_state_change: Callable[[], None] = _no_state_change
         #: invoked with each job that completes
-        self.on_job_finished: Callable[[Job], None] = lambda job: None
+        self.on_job_finished: Callable[[Job], None] = _no_job_finished
         #: invoked with each job torn down by a fault (the queuing
         #: system requeues or fails it)
-        self.on_job_killed: Callable[[Job, str], None] = lambda job, reason: None
+        self.on_job_killed: Callable[[Job, str], None] = _no_job_killed
 
     # ------------------------------------------------------------------
     # queries

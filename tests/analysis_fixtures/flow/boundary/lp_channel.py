@@ -1,0 +1,13 @@
+"""A declared channel caller: scheduler → machine, sanctioned.
+
+This module sits on the scheduler side and performs exactly the same
+mutating call as ``lp_sched.enqueue`` — but the test's boundary
+config declares ``lp_channel -> lp_machine`` as a channel, so the
+call is clean.  This is the contrast case for CONC301.
+"""
+
+from lp_machine import Engine
+
+
+def feed(engine: Engine, item):
+    engine.push(item)  # declared channel: no finding

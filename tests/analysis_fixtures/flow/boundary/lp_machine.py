@@ -1,0 +1,20 @@
+"""Machine-side LP: owns the event log and the engine state.
+
+Writing ``EVENTS`` from *this* module is an own-side write and clean
+on its own — the CONC302 below fires only because ``lp_sched`` (the
+other side of the cut) also writes it.
+"""
+
+EVENTS = []  # EXPECT: CONC302
+
+
+class Engine:
+    def __init__(self):
+        self.queue = []
+        self.now = 0.0
+
+    def push(self, item):
+        self.queue.append(item)
+
+    def log_local(self, entry):
+        EVENTS.append(entry)

@@ -1,0 +1,17 @@
+"""Scheduler-side LP: reaches across the cut without a channel.
+
+``enqueue`` calls a machine-side method that mutates machine state;
+``log_cross`` writes a machine-owned module global directly.  Neither
+direction is declared as a channel, so both are CONC301 (the direct
+global write is reported at the writing function's ``def`` line).
+"""
+
+from lp_machine import EVENTS, Engine
+
+
+def enqueue(engine: Engine, item):
+    engine.push(item)  # EXPECT: CONC301
+
+
+def log_cross(entry):  # EXPECT: CONC301
+    EVENTS.append(entry)

@@ -1,0 +1,12 @@
+"""DET201: a nondeterministic value reaches a sort key through data flow.
+
+The syntactic DET107 only fires when ``id()`` / ``hash()`` appears
+textually inside the key expression.  Here the identity value travels
+through a dict built one statement earlier and enters the key via a
+lambda closure — only the flow rule can see that.
+"""
+
+
+def order_by_identity(jobs):
+    tags = {job: id(job) for job in jobs}
+    return sorted(jobs, key=lambda job: tags[job])  # EXPECT: DET201

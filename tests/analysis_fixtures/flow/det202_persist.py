@@ -1,0 +1,19 @@
+"""DET202: wall-clock time reaches a persisted artifact via a helper.
+
+The clock read and the ``json.dump`` live in different functions: the
+syntactic DET101 flags the read itself, while the interprocedural
+DET202 proves the value actually ends up in serialized output.
+"""
+
+import json
+import time
+
+
+def stamp():
+    return time.time()  # EXPECT: DET101
+
+
+def write_report(path, payload):
+    payload["generated"] = stamp()
+    with open(path, "w") as handle:
+        json.dump(payload, handle)  # EXPECT: DET202

@@ -1,0 +1,18 @@
+"""DET203: unseeded RNG output stored on ``self`` in simulation code.
+
+The draw happens in a helper; the store happens in a constructor.  The
+syntactic DET103 flags the draw, the flow DET203 flags the *store* —
+that is the line that makes the value part of checkpointable state.
+"""
+
+import random
+
+
+def jitter():
+    return random.random()  # EXPECT: DET103
+
+
+class Sampler:
+    def __init__(self, count):
+        self.count = count
+        self.noise = jitter()  # EXPECT: DET203

@@ -1,0 +1,14 @@
+"""DET204: an event time computed from a real clock.
+
+``schedule_at`` is the simulator's event interface; feeding it a
+monotonic-clock value couples the event calendar to the host machine.
+The syntactic DET102 flags the clock read, the flow DET204 flags the
+sink — even through the arithmetic on the way there.
+"""
+
+import time
+
+
+def arm_timeout(sim, handler):
+    deadline = time.monotonic() + 5.0  # EXPECT: DET102
+    sim.schedule_at(deadline, handler)  # EXPECT: DET204

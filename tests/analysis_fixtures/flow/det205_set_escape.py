@@ -1,0 +1,11 @@
+"""DET205: set-iteration order escapes through a return value.
+
+Here the syntactic and flow tiers agree: ``list(pending)`` freezes an
+order that varies with PYTHONHASHSEED, and nothing downstream repairs
+it before the sequence escapes to the caller.
+"""
+
+
+def drain(ids):
+    pending = set(ids)
+    return list(pending)  # EXPECT: DET105  # EXPECT: DET205

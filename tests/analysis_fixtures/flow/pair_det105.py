@@ -1,0 +1,15 @@
+"""The DET105 → DET205 precision upgrade (acceptance fixture).
+
+``list(pending)`` trips the syntactic set-iteration rule even though
+the very next line sorts the result — DET105 cannot see past the
+statement.  The flow rule DET205 tracks the order taint through
+``.sort()``, which removes it, and stays silent.  Same code, one
+fewer false positive.
+"""
+
+
+def stable_ids(ids):
+    pending = set(ids)
+    listed = list(pending)  # EXPECT: DET105
+    listed.sort()
+    return listed
