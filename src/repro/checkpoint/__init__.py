@@ -11,7 +11,7 @@ Public surface:
   :func:`~repro.checkpoint.format.read_meta` — the versioned,
   sha256-checksummed, atomically-written envelope;
 * :mod:`~repro.checkpoint.errors` — the typed failure taxonomy
-  (corrupt / version / mismatch);
+  (corrupt / version / mismatch / write);
 * :func:`~repro.checkpoint.session.config_digest` — the config
   fingerprint restore matches against.
 
@@ -24,6 +24,7 @@ from repro.checkpoint.errors import (
     CheckpointError,
     CheckpointMismatchError,
     CheckpointVersionError,
+    CheckpointWriteError,
 )
 from repro.checkpoint.format import (
     FORMAT_REVISION,
@@ -43,6 +44,7 @@ __all__ = [
     "CheckpointMismatchError",
     "CheckpointPlan",
     "CheckpointVersionError",
+    "CheckpointWriteError",
     "FORMAT_REVISION",
     "SimulationSession",
     "config_digest",

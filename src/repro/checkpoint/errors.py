@@ -12,7 +12,8 @@ Hierarchy::
     CheckpointError
     ├── CheckpointCorruptError   bad magic / checksum / truncation
     ├── CheckpointVersionError   envelope format revision unknown
-    └── CheckpointMismatchError  code version or config digest differ
+    ├── CheckpointMismatchError  code version or config digest differ
+    └── CheckpointWriteError     the envelope could not be written durably
 
 The contract every caller can rely on: restoring a snapshot either
 yields a session whose continued execution is byte-identical to the
@@ -85,3 +86,24 @@ class CheckpointMismatchError(CheckpointError):
         self.field = field
         self.expected = expected
         self.found = found
+
+
+class CheckpointWriteError(CheckpointError):
+    """The snapshot could not be written durably (ENOSPC, EIO, ...).
+
+    The atomic-replace protocol guarantees the target still holds the
+    previous complete snapshot (or is absent, for a first save) — a
+    failed write never leaves a torn envelope behind.  ``cause`` is
+    the underlying :class:`OSError`.
+    """
+
+    kind = "write"
+
+    def __init__(self, path: object, cause: BaseException) -> None:
+        super().__init__(
+            f"checkpoint {path} could not be written durably "
+            f"({type(cause).__name__}: {cause}); "
+            f"the previous snapshot, if any, is intact"
+        )
+        self.path = str(path)
+        self.cause = cause

@@ -31,14 +31,15 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.checkpoint.errors import (
     CheckpointCorruptError,
     CheckpointVersionError,
+    CheckpointWriteError,
 )
+from repro.storage.layer import StorageLayer, default_storage
 
 #: header magic of the snapshot envelope
 MAGIC = "repro-ckpt"
@@ -61,18 +62,26 @@ def envelope_digest(meta_bytes: bytes, payload: bytes) -> str:
     return digest.hexdigest()
 
 
-def write_snapshot(path: os.PathLike, meta: Dict[str, Any], payload: bytes) -> None:
+def write_snapshot(path: os.PathLike, meta: Dict[str, Any], payload: bytes,
+                   storage: Optional[StorageLayer] = None) -> None:
     """Atomically write one snapshot envelope to *path*.
 
     The meta's ``format`` field is forced to :data:`FORMAT_REVISION`.
     Parent directories are created.  The write is durable (file
-    ``fsync`` before the rename, best-effort directory ``fsync``
-    after) and atomic (``os.replace``), so a crash at any instant
-    leaves either the previous snapshot or this one — never a torn
-    file.
+    ``fsync`` before the rename, directory ``fsync`` after) and atomic
+    (``os.replace``), so a crash at any instant leaves either the
+    previous snapshot or this one — never a torn file.  All IO goes
+    through *storage* (default: the pass-through layer), so fault
+    plans and the torture enumerator see every step.
+
+    Raises
+    ------
+    CheckpointWriteError
+        The envelope could not be written durably; the target still
+        holds the previous complete snapshot (or is absent).
     """
     target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
+    layer = storage if storage is not None else default_storage()
     body = dict(meta)
     body["format"] = FORMAT_REVISION
     meta_bytes = meta_dumps(body)
@@ -81,38 +90,14 @@ def write_snapshot(path: os.PathLike, meta: Dict[str, Any], payload: bytes) -> N
         f"payload={len(payload)} "
         f"sha256={envelope_digest(meta_bytes, payload)}\n"
     ).encode("ascii")
-    fd, tmp_name = tempfile.mkstemp(
-        dir=str(target.parent), prefix=".tmp-", suffix=".ckpt"
-    )
+    target.parent.mkdir(parents=True, exist_ok=True)
     try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(header)
-            handle.write(meta_bytes)
-            handle.write(payload)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, target)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    _fsync_directory(target.parent)
-
-
-def _fsync_directory(directory: Path) -> None:
-    """Flush the rename itself (best-effort; not all FSes allow it)."""
-    try:
-        fd = os.open(str(directory), os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
+        layer.write_atomic(
+            target, header, meta_bytes, payload,
+            sync_file=True, sync_dir=True,
+        )
+    except OSError as exc:
+        raise CheckpointWriteError(target, exc) from exc
 
 
 def _parse_header(path: Path, line: bytes) -> Tuple[int, int, int, str]:

@@ -18,6 +18,11 @@ Subcommands map one-to-one onto the experiment harnesses:
 * ``serve``     — crash-safe streaming service: open-system arrivals
   (synthetic Poisson or an SWF log) through bounded-ingress admission
   control, with journalled recovery via ``--restore``.
+* ``torture``   — crash-consistency checking of every durability
+  protocol: record a real run's IO-op trace, enumerate every legal
+  crash state plus a deterministic fault matrix, run each protocol's
+  recovery path, and assert its recovery invariant
+  (``--mutate drop-fsync`` self-tests the enumerator).
 
 The global ``--checkpoint-dir`` flag (with ``--checkpoint-every`` /
 ``--checkpoint-interval`` cadences) makes in-process runs and sweep
@@ -333,6 +338,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-manifest", action="store_true",
         help="with --deep: regenerate the committed effect manifest "
              "(effects-manifest.json next to pyproject.toml)",
+    )
+
+    p_torture = sub.add_parser(
+        "torture",
+        help="crash-consistency torture of the durability protocols",
+    )
+    p_torture.add_argument(
+        "--protocol", default="all",
+        choices=("all", "serve-journal", "sweep-journal", "checkpoint",
+                 "cache", "status"),
+        help="which durability protocol to torture (default: all five)",
+    )
+    p_torture.add_argument(
+        "--budget", type=int, default=400, metavar="N",
+        help="max crash states checked per protocol; 0 = unbounded "
+             "(default: 400)",
+    )
+    p_torture.add_argument(
+        "--dir", metavar="DIR",
+        help="scratch directory for traces and materialised states "
+             "(default: a temporary directory, removed afterwards)",
+    )
+    p_torture.add_argument(
+        "--keep-failures", metavar="DIR",
+        help="preserve every violating crash state (files plus a "
+             "VIOLATIONS.txt) under this directory",
+    )
+    p_torture.add_argument(
+        "--mutate", choices=("drop-fsync",),
+        help="self-test: run the protocols on a layer that silently "
+             "skips every fsync; exit 0 only if the enumerator catches "
+             "the mutant",
     )
     return parser
 
@@ -710,6 +747,68 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_torture(args: argparse.Namespace) -> int:
+    """Run the crash-consistency torture campaign; 1 on any violation.
+
+    Output is deterministic for a fixed (seed, protocol, budget): the
+    op traces, crash-state enumeration and fault matrix are all
+    seeded, and no scratch paths are printed.  Under ``--mutate`` the
+    exit-code sense inverts: 0 means the enumerator *caught* the
+    mutant (the self-test passed), 1 means the mutant survived.
+    """
+    import logging
+    import shutil
+    import tempfile
+
+    from repro.storage.protocols import PROTOCOL_NAMES, run_torture
+    from repro.validate import render_violations, validate_torture
+
+    names = PROTOCOL_NAMES if args.protocol == "all" else (args.protocol,)
+    if args.dir:
+        base = Path(args.dir)
+        base.mkdir(parents=True, exist_ok=True)
+        cleanup = False
+    else:
+        base = Path(tempfile.mkdtemp(prefix="repro-torture-"))
+        cleanup = True
+    keep = Path(args.keep_failures) if args.keep_failures else None
+    # Injected faults make the wired protocols log their degradation
+    # warnings thousands of times; that is the behavior under test,
+    # not operator-relevant noise.
+    logging.getLogger("repro").setLevel(logging.CRITICAL)
+    print(
+        f"torture: seed={args.seed} budget={args.budget} "
+        f"protocols={','.join(names)}"
+        + (f" mutate={args.mutate}" if args.mutate else "")
+    )
+    try:
+        reports = run_torture(
+            names, seed=args.seed, budget=args.budget, base_dir=base,
+            mutate=args.mutate, keep_failures=keep,
+        )
+    finally:
+        if cleanup:
+            shutil.rmtree(base, ignore_errors=True)
+    for report in reports:
+        print(report.summary_line())
+    total = sum(report.states for report in reports)
+    violated = sum(len(report.violations) for report in reports)
+    if args.mutate:
+        verdict = "caught" if violated else "SURVIVED"
+        print(
+            f"torture: mutant {args.mutate} {verdict} "
+            f"({violated} violation(s) across {total} state(s))"
+        )
+        return 0 if violated else 1
+    problems = validate_torture(reports, budget=args.budget)
+    if problems:
+        print(render_violations(problems))
+        print(f"torture: {len(problems)} violation(s)")
+        return 1
+    print(f"torture: clean ({total} distinct crash/fault states)")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the crash-safe streaming service; return its exit code.
 
@@ -941,6 +1040,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_lint(args)
     if args.command == "fuzz":
         return cmd_fuzz(args)
+    if args.command == "torture":
+        return cmd_torture(args)
     if args.command == "serve":
         return cmd_serve(args)
     sanitizer = _sanitizer(args)

@@ -22,7 +22,10 @@ bit-flipped, or hand-edited — is **quarantined** (renamed to
 ``*.corrupt``) and reported as a miss, so the cell is transparently
 recomputed rather than poisoning downstream artefacts or crashing the
 sweep.  Real I/O errors (``EACCES`` and friends) are logged once and
-likewise degrade to misses instead of aborting.
+likewise degrade to misses instead of aborting.  The *write* path is
+symmetric: a store that fails (``ENOSPC``, quota, permissions) is
+logged once, counted in :meth:`ResultCache.stats`, and skipped — a
+full disk costs cache hits, never the sweep cell.
 """
 
 from __future__ import annotations
@@ -33,9 +36,10 @@ import hashlib
 import json
 import logging
 import os
-import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
+
+from repro.storage.layer import StorageLayer, default_storage
 
 logger = logging.getLogger(__name__)
 
@@ -138,14 +142,19 @@ class ResultCache:
     one (disk corruption, manual edits), :meth:`get` catches it.
     """
 
-    def __init__(self, root: os.PathLike) -> None:
+    def __init__(self, root: os.PathLike,
+                 storage: Optional[StorageLayer] = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.storage = storage if storage is not None else default_storage()
         #: corrupt entries detected (and quarantined) by this instance
         self.corrupt_detected = 0
         #: non-ENOENT I/O errors swallowed as misses by this instance
         self.io_errors = 0
+        #: failed stores (ENOSPC and friends) skipped by this instance
+        self.store_errors = 0
         self._io_error_logged = False
+        self._store_error_logged = False
 
     def path_for(self, key: str) -> Path:
         """Where *key*'s record lives (whether or not it exists)."""
@@ -220,26 +229,40 @@ class ResultCache:
     # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
-    def put(self, key: str, payload: str) -> None:
-        """Atomically store *payload* (with integrity header) under *key*."""
+    def put(self, key: str, payload: str) -> bool:
+        """Atomically store *payload* (with integrity header) under *key*.
+
+        Returns whether the record was stored.  A failing store —
+        ``ENOSPC``, quota, permissions — is handled exactly like a
+        failing read: logged once, counted (:attr:`store_errors`),
+        and degraded to "not cached".  The caller's cell result is
+        never at risk; only future cache hits are.
+
+        Deliberately *not* fsynced: a torn record after a crash is
+        caught by the integrity header and quarantined on read, so
+        the cache trades durability for write latency safely.
+        """
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
         header = f"{_MAGIC} key={key} sha256={digest} bytes={len(payload)}\n"
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".rec"
-        )
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(header)
-                handle.write(payload)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self.storage.write_atomic(
+                path, header.encode("utf-8"), payload.encode("utf-8"),
+                sync_file=False, sync_dir=False,
+            )
+        except OSError as exc:
+            self.store_errors += 1
+            if not self._store_error_logged:
+                self._store_error_logged = True
+                logger.warning(
+                    "result cache store failed (%s: %s) — entry skipped; "
+                    "further store errors on this cache will be counted "
+                    "silently",
+                    type(exc).__name__, exc,
+                )
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # maintenance
@@ -264,6 +287,7 @@ class ResultCache:
             "quarantined": quarantined,
             "corrupt_detected": self.corrupt_detected,
             "io_errors": self.io_errors,
+            "store_errors": self.store_errors,
         }
 
     def prune(self) -> int:

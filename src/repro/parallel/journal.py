@@ -28,6 +28,15 @@ the most recent completion) and the occurrence is counted in
 :attr:`SweepJournal.duplicates` rather than treated as corruption.
 Both degradations compose: a journal with duplicated entries *and* a
 torn tail still loads every intact record before the tear.
+
+Write failures are **permanent** (fsyncgate semantics): after any
+failed append the journal marks itself :attr:`SweepJournal.broken`
+and every later append raises
+:class:`~repro.storage.layer.JournalWriteError` — a failed ``fsync``
+may have dropped the dirty pages while marking them clean, so a retry
+that "succeeds" proves nothing.  The runner degrades to unjournaled
+execution (results stay correct, resume coverage is honestly reduced
+and counted in the sweep stats) rather than trusting a lying journal.
 """
 
 from __future__ import annotations
@@ -37,6 +46,14 @@ import json
 import os
 from pathlib import Path
 from typing import Dict, Iterator, Optional
+
+from repro.storage.layer import (
+    JournalWriteError,
+    ragged_tail as _ragged_tail,
+    StorageHandle,
+    StorageLayer,
+    default_storage,
+)
 
 
 def payload_digest(payload: str) -> str:
@@ -87,20 +104,54 @@ class SweepJournal:
     resume:
         ``True`` loads surviving records and appends after them;
         ``False`` (a fresh sweep) truncates any existing journal.
+    storage:
+        The :class:`~repro.storage.layer.StorageLayer` all IO goes
+        through; defaults to the process-wide pass-through layer.
     """
 
-    def __init__(self, path: os.PathLike, resume: bool = False) -> None:
+    def __init__(self, path: os.PathLike, resume: bool = False,
+                 storage: Optional[StorageLayer] = None) -> None:
         self.path = Path(path)
         self.resume = resume
+        self.storage = storage if storage is not None else default_storage()
         self.entries: Dict[str, JournalEntry] = {}
         self.torn_tail = False
         #: intact records whose key had already appeared (last wins)
         self.duplicates = 0
+        #: the failure that permanently closed this journal to writes
+        self.broken: Optional[BaseException] = None
         if resume:
             self.entries = dict(self.load(self.path))
+            if self.torn_tail or _ragged_tail(self.path):
+                self._compact()
         elif self.path.exists():
-            self.path.unlink()
-        self._handle = None
+            self.storage.unlink(self.path)
+        self._handle: Optional[StorageHandle] = None
+
+    def _compact(self) -> None:
+        """Atomically rewrite the journal to end at a record boundary.
+
+        Appending in ``ab`` mode after a torn tail would put every new
+        record *behind* the unparseable line, where no future recovery
+        can see it — and a tail missing only its newline would merge
+        with the next record into garbage.  Resume therefore rewrites
+        the intact records
+        (crash-safely, via the temp-fsync-rename protocol) before the
+        journal accepts appends.  If the rewrite itself fails the
+        journal opens broken: its entries are still good for resume
+        decisions, but writes are refused rather than silently
+        unrecoverable.
+        """
+        payload = b"".join(
+            entry.to_json().encode("utf-8") + b"\n"
+            for entry in self.entries.values()
+        )
+        try:
+            self.storage.write_atomic(
+                self.path, payload, sync_file=True, sync_dir=True
+            )
+        except OSError as exc:
+            self.broken = exc
 
     # ------------------------------------------------------------------
     # reading
@@ -151,17 +202,30 @@ class SweepJournal:
         The record is written in one ``write`` call, flushed, and
         ``fsync``'d before this returns — after that, no crash of the
         parent can lose the fact that the cell finished.
+
+        Raises
+        ------
+        JournalWriteError
+            On the first IO failure and on every append after it
+            (fsyncgate: the dirty pages may already be gone, so the
+            journal breaks permanently instead of retrying).  The
+            entry is *not* indexed as written.
         """
+        if self.broken is not None:
+            raise JournalWriteError(self.path, self.broken)
         entry = JournalEntry(
             key=key, digest=payload_digest(payload),
             length=len(payload), label=label,
         )
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "ab")
-        self._handle.write(entry.to_json().encode("utf-8") + b"\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        try:
+            if self._handle is None:
+                self._handle = self.storage.open_append(self.path)
+            self._handle.write(entry.to_json().encode("utf-8") + b"\n")
+            self._handle.flush()
+            self._handle.fsync()
+        except OSError as exc:
+            self.broken = exc
+            raise JournalWriteError(self.path, exc) from exc
         self.entries[key] = entry
         return entry
 

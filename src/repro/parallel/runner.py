@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import importlib
 import json
+import logging
 import multiprocessing
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -42,13 +43,15 @@ from repro.parallel.cache import (
     cell_key,
 )
 from repro.parallel.errors import UnserialisableRecord
-from repro.parallel.journal import SweepJournal
+from repro.parallel.journal import JournalWriteError, SweepJournal
 from repro.parallel.supervisor import (
     CellFailure,
     PoolSupervisor,
     SupervisionPolicy,
     run_serial_supervised,
 )
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -134,7 +137,10 @@ class SweepStats:
     ``quarantined`` counts poison cells abandoned after exhausting
     their retry budget; ``resumed`` counts cells replayed from the
     sweep journal; ``degraded`` counts cells that fell back to serial
-    execution because no worker pool could be built.
+    execution because no worker pool could be built;
+    ``storage_degraded`` counts completions that could not be
+    journalled because the journal lost durability (their results are
+    correct but a later ``--resume`` will recompute them).
     """
 
     cells: int = 0
@@ -144,6 +150,7 @@ class SweepStats:
     quarantined: int = 0
     resumed: int = 0
     degraded: int = 0
+    storage_degraded: int = 0
     #: one :class:`~repro.parallel.supervisor.CellFailure` per poison cell
     failures: List[CellFailure] = field(default_factory=list)
 
@@ -156,6 +163,7 @@ class SweepStats:
         self.quarantined += other.quarantined
         self.resumed += other.resumed
         self.degraded += other.degraded
+        self.storage_degraded += other.storage_degraded
         self.failures.extend(other.failures)
 
     def summary_line(self) -> str:
@@ -171,6 +179,8 @@ class SweepStats:
             parts.append(f"{self.quarantined} quarantined")
         if self.degraded:
             parts.append(f"{self.degraded} degraded to serial")
+        if self.storage_degraded:
+            parts.append(f"{self.storage_degraded} unjournaled (storage)")
         return ", ".join(parts)
 
 
@@ -419,8 +429,29 @@ class SweepRunner:
         return True
 
     def _journal_entry(self, key: str, payload: str, label: str) -> None:
-        if self.journal is not None and self.journal.get(key) is None:
+        """Journal one completion; degrade honestly if the journal broke.
+
+        A journal that lost durability (fsyncgate, ENOSPC) raises
+        :class:`JournalWriteError` on every append.  The completion
+        itself is safe — the payload is already in the caller's hands
+        — so the sweep continues *unjournaled*: correct results now,
+        honest recomputation on a later ``--resume``.  Counted per
+        completion in ``storage_degraded`` so validation and summary
+        lines can tell a full journal from a broken one.
+        """
+        if self.journal is None or self.journal.get(key) is not None:
+            return
+        try:
             self.journal.append(key, payload, label=label)
+        except JournalWriteError as exc:
+            stats = self.last_stats
+            if stats.storage_degraded == 0:
+                logger.warning(
+                    "sweep journal lost durability (%s) — continuing "
+                    "unjournaled; a later --resume will recompute these "
+                    "cells", exc,
+                )
+            stats.storage_degraded += 1
 
     # ------------------------------------------------------------------
     # unsupervised pool (PR 2 semantics: first failure aborts)

@@ -21,7 +21,7 @@ Modules
   signal handling, heartbeat, watchdog.
 """
 
-from repro.serve.journal import ArrivalJournal, JournalEntry
+from repro.serve.journal import ArrivalJournal, JournalEntry, JournalWriteError
 from repro.serve.session import (
     ArrivalPump,
     ServeConfig,
@@ -32,14 +32,17 @@ from repro.serve.session import (
 from repro.serve.source import ArrivalSource, SwfSource, SyntheticSource
 from repro.serve.service import (
     EXIT_DEADLOCK,
+    EXIT_STORAGE,
     EXIT_WEDGED,
     ServeService,
     read_status,
+    write_status_payload,
 )
 
 __all__ = [
     "ArrivalJournal",
     "JournalEntry",
+    "JournalWriteError",
     "ArrivalPump",
     "ServeConfig",
     "ServeSession",
@@ -50,6 +53,8 @@ __all__ = [
     "SyntheticSource",
     "ServeService",
     "read_status",
+    "write_status_payload",
     "EXIT_WEDGED",
     "EXIT_DEADLOCK",
+    "EXIT_STORAGE",
 ]

@@ -20,6 +20,17 @@ tail (crash mid-write) stops the load at the first unparseable line,
 and duplicate sequence numbers — a crash between fsync and snapshot,
 then a restart re-drawing the same arrival — are resolved last-wins
 and counted in :attr:`ArrivalJournal.duplicates`.
+
+Write failures are **permanent** (fsyncgate semantics): after any
+failed append — and a failed ``fsync`` in particular, which may have
+silently discarded the dirty pages — the journal marks itself
+:attr:`ArrivalJournal.broken` and every append raises
+:class:`~repro.storage.layer.JournalWriteError`.  Retrying would let
+a "successful" second fsync acknowledge bytes the kernel already
+threw away.  All IO goes through a
+:class:`~repro.storage.layer.StorageLayer`, which also fsyncs the
+parent directory when the journal file is first created (a record is
+only as durable as the directory entry that reaches it).
 """
 
 from __future__ import annotations
@@ -27,9 +38,17 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import IO, Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["ArrivalJournal", "JournalEntry"]
+from repro.storage.layer import (
+    JournalWriteError,
+    ragged_tail as _ragged_tail,
+    StorageHandle,
+    StorageLayer,
+    default_storage,
+)
+
+__all__ = ["ArrivalJournal", "JournalEntry", "JournalWriteError"]
 
 
 class JournalEntry:
@@ -107,20 +126,53 @@ class ArrivalJournal:
     resume:
         ``True`` loads surviving records (a restart); ``False`` (a
         fresh service) truncates any existing journal.
+    storage:
+        The :class:`~repro.storage.layer.StorageLayer` all IO goes
+        through; defaults to the process-wide pass-through layer.
     """
 
-    def __init__(self, path: os.PathLike, resume: bool = False) -> None:
+    def __init__(self, path: os.PathLike, resume: bool = False,
+                 storage: Optional[StorageLayer] = None) -> None:
         self.path = Path(path)
         self.resume = resume
+        self.storage = storage if storage is not None else default_storage()
         self.entries: Dict[int, JournalEntry] = {}
         self.torn_tail = False
         #: intact records whose seq had already appeared (last wins)
         self.duplicates = 0
+        #: the failure that permanently closed this journal to writes
+        self.broken: Optional[BaseException] = None
         if resume:
             self.entries = dict(self.load(self.path))
+            if self.torn_tail or _ragged_tail(self.path):
+                self._compact()
         elif self.path.exists():
-            self.path.unlink()
-        self._handle: Optional[IO[bytes]] = None
+            self.storage.unlink(self.path)
+        self._handle: Optional[StorageHandle] = None
+
+    def _compact(self) -> None:
+        """Atomically rewrite the journal to end at a record boundary.
+
+        Appending in ``ab`` mode after a torn tail would put every new
+        record *behind* the unparseable line, where no future recovery
+        can see it — and a tail missing only its newline would merge
+        with the next record into garbage.  Resume therefore rewrites
+        the intact records (crash-safely, via the temp-fsync-rename
+        protocol) before the journal accepts appends.  If the rewrite
+        itself fails the journal opens broken: its entries are still
+        good for replay, but writes are refused rather than silently
+        unrecoverable.
+        """
+        payload = b"".join(
+            self.entries[seq].to_json().encode("utf-8") + b"\n"
+            for seq in sorted(self.entries)
+        )
+        try:
+            self.storage.write_atomic(
+                self.path, payload, sync_file=True, sync_dir=True
+            )
+        except OSError as exc:
+            self.broken = exc
 
     # ------------------------------------------------------------------
     # reading
@@ -178,13 +230,27 @@ class ArrivalJournal:
         Written in one ``write`` call, flushed, and ``fsync``'d before
         this returns — after that, no crash can lose the fact that the
         arrival entered the system.
+
+        Raises
+        ------
+        JournalWriteError
+            On the first IO failure and on every append after it.  A
+            failed fsync may have dropped the dirty pages while
+            marking them clean (fsyncgate), so no retry can restore
+            durability; the journal is permanently broken instead and
+            the entry is *not* indexed as written.
         """
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "ab")
-        self._handle.write(entry.to_json().encode("utf-8") + b"\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        if self.broken is not None:
+            raise JournalWriteError(self.path, self.broken)
+        try:
+            if self._handle is None:
+                self._handle = self.storage.open_append(self.path)
+            self._handle.write(entry.to_json().encode("utf-8") + b"\n")
+            self._handle.flush()
+            self._handle.fsync()
+        except OSError as exc:
+            self.broken = exc
+            raise JournalWriteError(self.path, exc) from exc
         self.entries[entry.seq] = entry
 
     def close(self) -> None:

@@ -18,6 +18,16 @@ Exit protocol
 * :data:`EXIT_WEDGED` (3) — the watchdog saw no progress for its
   window; a best-effort snapshot and a ``wedged`` status record are
   written first, so the operator restarts from the last good state.
+* :data:`EXIT_STORAGE` (5) — the arrival journal lost durability
+  (fsyncgate: a failed fsync may have dropped acknowledged bytes).
+  The service stops drawing *new* arrivals immediately — an arrival
+  that cannot be journalled must never enter the system — finishes
+  everything already admitted, then exits with this code so the
+  operator knows the journal tail cannot be trusted past its last
+  good record.  Status-file and autosnapshot write failures are
+  softer: they are counted in the ``storage_errors`` status field and
+  the service keeps running (losing a heartbeat or a snapshot costs
+  observability and recovery granularity, not correctness).
 
 Wall-clock discipline: the service never reads a host clock directly —
 it takes an injected :class:`~repro.experiments.clock.ReportClock`
@@ -28,27 +38,41 @@ wall-clock-site rule intact.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import signal
 import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
+from repro.checkpoint.errors import CheckpointError
 from repro.checkpoint.session import CheckpointPlan
 from repro.experiments.clock import ReportClock
 from repro.qs.job import Job
-from repro.serve.journal import ArrivalJournal, JournalEntry
+from repro.serve.journal import ArrivalJournal, JournalEntry, JournalWriteError
 from repro.serve.session import ServeSession
+from repro.storage.layer import StorageLayer, default_storage
 
 if TYPE_CHECKING:
     from repro.experiments.common import ExperimentConfig
 
-__all__ = ["EXIT_DEADLOCK", "EXIT_WEDGED", "ServeService", "read_status"]
+__all__ = [
+    "EXIT_DEADLOCK",
+    "EXIT_STORAGE",
+    "EXIT_WEDGED",
+    "ServeService",
+    "read_status",
+    "write_status_payload",
+]
+
+logger = logging.getLogger(__name__)
 
 #: watchdog saw no progress for its whole window
 EXIT_WEDGED = 3
 #: event queue drained with admitted/held work that can never start
 EXIT_DEADLOCK = 4
+#: the arrival journal lost durability; drained admitted work, then left
+EXIT_STORAGE = 5
 
 #: status-file schema version
 STATUS_VERSION = 1
@@ -73,6 +97,25 @@ def read_status(path: os.PathLike) -> Optional[Dict[str, Any]]:
     return status
 
 
+def write_status_payload(path: os.PathLike, payload: str,
+                         storage: Optional[StorageLayer] = None) -> None:
+    """Durably and atomically publish one status *payload* at *path*.
+
+    tmp file → write → flush → **fsync** → ``os.replace``.  The fsync
+    before the rename matters: without it a crash shortly after the
+    rename can publish a zero-length or torn file (the rename is
+    metadata and may reach disk before the data does), breaking the
+    "status file is always old-or-new, never torn" contract that
+    :func:`read_status` relies on.  Raises ``OSError`` on failure —
+    the caller decides whether a lost heartbeat is fatal.
+    """
+    layer = storage if storage is not None else default_storage()
+    layer.write_atomic(
+        Path(path), payload.encode("utf-8"),
+        sync_file=True, sync_dir=False,
+    )
+
+
 class ServeService:
     """Host-side driver for one streaming session.
 
@@ -93,6 +136,10 @@ class ServeService:
     journal:
         A pre-opened journal (the restore path), overriding
         *journal_path*.
+    storage:
+        The :class:`~repro.storage.layer.StorageLayer` the status
+        writer (and a journal built from *journal_path*) goes
+        through; defaults to the pass-through layer.
     """
 
     def __init__(
@@ -103,28 +150,36 @@ class ServeService:
         checkpoint: Optional[CheckpointPlan] = None,
         clock: Optional[ReportClock] = None,
         journal: Optional[ArrivalJournal] = None,
+        storage: Optional[StorageLayer] = None,
     ) -> None:
         self.session = session
         self.checkpoint = checkpoint
         self.status_path = Path(status_path) if status_path else None
         self.clock = clock or ReportClock()
+        self.storage = storage if storage is not None else default_storage()
         self.journal: Optional[ArrivalJournal]
         if journal is not None:
             self.journal = journal
         elif journal_path is not None:
-            self.journal = ArrivalJournal(journal_path, resume=False)
+            self.journal = ArrivalJournal(
+                journal_path, resume=False, storage=self.storage
+            )
         else:
             self.journal = None
         if self.journal is not None:
             self.session.pump.on_draw = self._journal_draw
         self.heartbeats = 0
         self.exit_code: Optional[int] = None
+        #: status/snapshot writes that failed and were survived
+        self.storage_errors = 0
         self._drain_requested = False
         self._in_step = False
         self._last_beat: Optional[float] = None
         self._watchdog_progress = -1
         self._prev_sigterm: Any = None
         self._prev_sigalrm: Any = None
+        self._storage_failed: Optional[JournalWriteError] = None
+        self._storage_error_logged = False
 
     # ------------------------------------------------------------------
     # construction from a crash
@@ -199,18 +254,38 @@ class ServeService:
             "utilization": session.trace.cpu_utilization(session.sim.now),
             "healthy_cpus": qs.healthy_capacity,
             "stats_digest": stats.digest(),
+            "storage_errors": self.storage_errors,
+            "journal_broken": bool(
+                self.journal is not None and self.journal.broken is not None
+            ),
         }
 
     def write_status(self, phase: str) -> None:
-        """Atomically replace the status file (tmp + rename)."""
+        """Durably replace the status file (tmp + fsync + rename).
+
+        A failed write is survivable — it is counted (and exposed as
+        the ``storage_errors`` status field once writes recover) and
+        logged once, but never stops the service: a stale heartbeat
+        is strictly better than no service.
+        """
         if self.status_path is None:
             return
         self.heartbeats += 1
         payload = json.dumps(self.status(phase), sort_keys=True)
-        tmp = self.status_path.with_name(self.status_path.name + ".tmp")
-        tmp.parent.mkdir(parents=True, exist_ok=True)
-        tmp.write_text(payload + "\n")
-        os.replace(tmp, self.status_path)
+        try:
+            write_status_payload(self.status_path, payload + "\n", self.storage)
+        except OSError as exc:
+            self._count_storage_error("status write", exc)
+
+    def _count_storage_error(self, what: str, exc: BaseException) -> None:
+        self.storage_errors += 1
+        if not self._storage_error_logged:
+            self._storage_error_logged = True
+            logger.warning(
+                "%s failed (%s: %s) — continuing; further storage errors "
+                "will be counted in the status file silently",
+                what, type(exc).__name__, exc,
+            )
 
     def _maybe_heartbeat(self, phase: str) -> None:
         if self.status_path is None:
@@ -227,6 +302,23 @@ class ServeService:
     def request_drain(self) -> None:
         """Stop drawing new arrivals; finish what was admitted."""
         self._drain_requested = True
+
+    def _note_journal_failure(self, exc: JournalWriteError) -> None:
+        """The journal is permanently broken: drain, then EXIT_STORAGE.
+
+        An arrival that cannot be made durable must never enter the
+        system — a crash would silently lose it from recovery — so
+        drawing stops immediately.  Admitted work finishes normally:
+        its arrivals are already journalled.
+        """
+        if self._storage_failed is None:
+            self._storage_failed = exc
+            logger.error(
+                "arrival journal lost durability (%s) — draining admitted "
+                "work, then exiting with EXIT_STORAGE", exc,
+            )
+        self._drain_requested = True
+        self.session.pump.draining = True
 
     def _on_sigterm(self, signum: int, frame: Any) -> None:
         self.request_drain()
@@ -296,7 +388,13 @@ class ServeService:
             plan = self.checkpoint
 
             def autosave() -> None:
-                session.save(plan.path, label="auto")
+                try:
+                    session.save(plan.path, label="auto")
+                except (OSError, CheckpointError) as exc:
+                    # A missed autosnapshot widens the recovery window;
+                    # it does not corrupt anything (the previous
+                    # envelope is intact), so the service survives it.
+                    self._count_storage_error("autosnapshot", exc)
 
             session.sim.set_checkpoint_hook(
                 autosave,
@@ -304,7 +402,10 @@ class ServeService:
                 every_sim_seconds=plan.every_sim_seconds,
             )
         try:
-            session.pump.prime()
+            try:
+                session.pump.prime()
+            except JournalWriteError as exc:
+                self._note_journal_failure(exc)
             self._maybe_heartbeat("running")
             while True:
                 if self._drain_requested and not session.pump.draining:
@@ -312,6 +413,13 @@ class ServeService:
                 self._in_step = True
                 try:
                     fired = session.sim.step(session.serve_config.step_events)
+                except JournalWriteError as exc:
+                    # The arrival that could not be journalled was
+                    # dropped before it entered the system; everything
+                    # already admitted is unaffected.  Count the slice
+                    # as progress and keep draining.
+                    self._note_journal_failure(exc)
+                    fired = 1
                 finally:
                     self._in_step = False
                 session.prune()
@@ -321,16 +429,22 @@ class ServeService:
                     if self._drain_requested and not session.pump.draining:
                         continue
                     break
-            if session.complete:
-                self.exit_code = 0
-                final_phase = "drained"
-            else:
+            if not session.complete:
                 # Nothing pending, nothing fired, work still admitted
                 # or held: this configuration can never finish.
                 self.exit_code = EXIT_DEADLOCK
                 final_phase = "deadlock"
+            elif self._storage_failed is not None:
+                self.exit_code = EXIT_STORAGE
+                final_phase = "storage"
+            else:
+                self.exit_code = 0
+                final_phase = "drained"
             if self.checkpoint is not None:
-                session.save(self.checkpoint.path, label=final_phase)
+                try:
+                    session.save(self.checkpoint.path, label=final_phase)
+                except (OSError, CheckpointError) as exc:
+                    self._count_storage_error("final snapshot", exc)
             self.write_status(final_phase)
             return self.exit_code
         finally:

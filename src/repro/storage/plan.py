@@ -1,0 +1,179 @@
+"""Deterministic, seeded schedules of storage faults.
+
+A :class:`FailPlan` is a list of :class:`FailRule`\\ s consulted by the
+:class:`~repro.storage.layer.StorageLayer` before every primitive IO
+operation.  Each rule counts the operations that match its ``op`` kind
+and ``path_glob`` and fires on the ``nth`` occurrence (and, when
+``persistent``, on every occurrence after that) — so "ENOSPC on the
+3rd write to ``*.jsonl``" or "EIO on the first fsync, forever" are one
+rule each, and the whole schedule is a pure function of the plan, with
+no clocks and no ambient randomness.
+
+Three fault kinds:
+
+* ``error`` — the operation raises
+  :class:`~repro.storage.layer.StorageError` (an :class:`OSError`)
+  with the rule's errno.  For ``fsync`` this also emulates *fsyncgate*
+  (see the layer): the kernel may have already dropped the dirty
+  pages, so the layer truncates the file back to its last durable
+  size before raising.
+* ``short`` — a ``write`` lands only a prefix of its bytes on disk and
+  then raises; other ops treat ``short`` as ``error``.
+* ``crash`` — the operation *succeeds*, then the process "dies":
+  :class:`~repro.storage.layer.CrashPoint` (a ``BaseException``)
+  propagates, leaving the filesystem exactly as a power cut at that
+  instant would.
+
+:meth:`FailPlan.seeded` derives a small randomized plan from a seed
+via ``random.Random(seed)`` — deterministic per seed, different across
+seeds — for torture campaigns that want coverage beyond the
+hand-written fault matrix.
+"""
+
+from __future__ import annotations
+
+import errno
+import fnmatch
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["FAULT_KINDS", "FAULT_OPS", "FailPlan", "FailRule"]
+
+#: operation kinds a rule may target (the layer's primitive names)
+FAULT_OPS: Tuple[str, ...] = (
+    "open", "write", "flush", "fsync", "replace", "dir_fsync", "unlink",
+)
+#: ways a matched operation can fail
+FAULT_KINDS: Tuple[str, ...] = ("error", "short", "crash")
+
+
+class FailRule:
+    """One scheduled fault: the *nth* matching op fails a given way."""
+
+    __slots__ = ("op", "nth", "kind", "err", "path_glob", "persistent")
+
+    def __init__(
+        self,
+        op: str,
+        nth: int = 1,
+        kind: str = "error",
+        err: int = errno.EIO,
+        path_glob: str = "*",
+        persistent: bool = False,
+    ) -> None:
+        if op not in FAULT_OPS:
+            raise ValueError(f"unknown fault op {op!r} (one of {FAULT_OPS})")
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r} (one of {FAULT_KINDS})")
+        if nth < 1:
+            raise ValueError(f"nth must be >= 1, got {nth}")
+        self.op = op
+        self.nth = nth
+        self.kind = kind
+        self.err = err
+        self.path_glob = path_glob
+        self.persistent = persistent
+
+    def matches_path(self, path: str) -> bool:
+        """Whether *path* (or its basename) matches this rule's glob."""
+        if fnmatch.fnmatchcase(path, self.path_glob):
+            return True
+        tail = path.rsplit("/", 1)[-1]
+        return fnmatch.fnmatchcase(tail, self.path_glob)
+
+    def describe(self) -> str:
+        """Stable human-readable form (used in torture run labels)."""
+        extra = " persistent" if self.persistent else ""
+        return (
+            f"{self.kind}:{self.op}#{self.nth}"
+            f"@{self.path_glob}:errno{self.err}{extra}"
+        )
+
+    def __repr__(self) -> str:
+        return f"FailRule({self.describe()})"
+
+
+class FailPlan:
+    """An ordered set of fault rules with per-rule occurrence counters.
+
+    The plan is stateful: each rule independently counts the operations
+    matching it, so a plan instance describes one *run*.  Call
+    :meth:`reset` (or build a fresh plan) to rerun the same schedule.
+    """
+
+    def __init__(self, rules: Iterable[FailRule] = ()) -> None:
+        self.rules: Tuple[FailRule, ...] = tuple(rules)
+        self._counts: Dict[int, int] = {}
+        #: rules that have fired at least once (indices into ``rules``)
+        self.fired: List[int] = []
+
+    def reset(self) -> None:
+        """Forget all occurrence counts (start of a fresh run)."""
+        self._counts = {}
+        self.fired = []
+
+    def consult(self, op: str, path: str) -> Optional[FailRule]:
+        """Advance counters for one operation; the rule to apply, if any.
+
+        Every rule matching ``(op, path)`` has its counter advanced,
+        whether or not it fires — so two rules on the same op kind see
+        the same occurrence numbering.  The first rule (in plan order)
+        whose occurrence condition is met wins.
+        """
+        winner: Optional[FailRule] = None
+        for index, rule in enumerate(self.rules):
+            if rule.op != op or not rule.matches_path(path):
+                continue
+            count = self._counts.get(index, 0) + 1
+            self._counts[index] = count
+            fires = count == rule.nth or (rule.persistent and count > rule.nth)
+            if fires and winner is None:
+                winner = rule
+                if index not in self.fired:
+                    self.fired.append(index)
+        return winner
+
+    def describe(self) -> str:
+        """Stable one-line form of the whole schedule."""
+        if not self.rules:
+            return "no-faults"
+        return "+".join(rule.describe() for rule in self.rules)
+
+    def __repr__(self) -> str:
+        return f"FailPlan({self.describe()})"
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(cls, op: str, nth: int = 1, kind: str = "error",
+               err: int = errno.EIO, path_glob: str = "*",
+               persistent: bool = False) -> "FailPlan":
+        """A plan with exactly one rule."""
+        return cls([FailRule(op, nth=nth, kind=kind, err=err,
+                             path_glob=path_glob, persistent=persistent)])
+
+    @classmethod
+    def seeded(cls, seed: int, rules: int = 2) -> "FailPlan":
+        """A small randomized plan, deterministic per *seed*.
+
+        Draws ops, occurrence numbers, errnos, kinds and persistence
+        from ``random.Random(seed)`` — the only randomness source, so
+        the same seed always yields the same schedule.
+        """
+        rng = random.Random(seed)
+        errnos = (errno.ENOSPC, errno.EIO, errno.EDQUOT, errno.EACCES)
+        out: List[FailRule] = []
+        for _ in range(max(1, rules)):
+            op = rng.choice(FAULT_OPS)
+            kind = rng.choice(("error", "error", "short", "crash"))
+            if kind == "short" and op != "write":
+                kind = "error"
+            out.append(FailRule(
+                op,
+                nth=rng.randint(1, 6),
+                kind=kind,
+                err=rng.choice(errnos),
+                persistent=kind == "error" and rng.random() < 0.5,
+            ))
+        return cls(out)

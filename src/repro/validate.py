@@ -29,8 +29,10 @@ Alongside the per-run invariants, :func:`validate_sweep` audits the
 **harness** after a sweep: no cell may be lost (every slot is either a
 payload or an accounted quarantine), the stats must balance
 (``cache_hits + resumed + executed + quarantined == cells``), every
-completed cell must be journalled when a journal is in use, and every
-journal digest must match the payload bytes it promises.
+completed cell must be journalled when a journal is in use (a journal
+that lost durability may miss entries, but only if the stats honestly
+count the degradation), and every journal digest must match the
+payload bytes it promises.
 
 :func:`validate_stream` audits a **streaming service** at any instant:
 submissions must be conserved across admitted/shed/live/terminal
@@ -66,7 +68,8 @@ _EPS = 1e-6
 #: so the same violations always render in the same sequence (race
 #: findings come last — they are the report footer).
 LAYER_ORDER: Tuple[str, ...] = (
-    "job", "trace", "alloc", "fault", "stream", "sweep", "checkpoint", "race",
+    "job", "trace", "alloc", "fault", "stream", "sweep", "checkpoint",
+    "storage", "race",
 )
 
 
@@ -156,6 +159,16 @@ STREAM_CHECK_CODES: Tuple[str, ...] = (
     "stream-bounded-queue",
     "stream-recovery",
 )
+TORTURE_CHECK_CODES: Tuple[str, ...] = (
+    "torture-invariant",
+    "torture-coverage",
+)
+
+#: minimum distinct crash/fault states a full five-protocol torture
+#: campaign must exercise before its "clean" verdict counts (the
+#: acceptance floor from the robustness issue); per-protocol budgets
+#: low enough to make the floor unreachable waive it.
+TORTURE_STATE_FLOOR = 200
 
 
 def validate_race(race) -> List[str]:
@@ -257,18 +270,26 @@ def validate_sweep(
         ))
 
     # 3. Journal: every completed cell journalled, every digest honest.
+    #    A journal that lost durability mid-sweep (fsyncgate, ENOSPC)
+    #    is allowed to be missing entries — but only if the runner
+    #    *admitted* the degradation in its stats; a broken journal
+    #    with a clean storage_degraded count is a lie.
     journal = getattr(runner, "journal", None)
     if journal is not None and runner.cache is not None:
+        broken = getattr(journal, "broken", None)
+        missing = 0
         for cell, payload in zip(cells, payloads):
             if payload is None:
                 continue
             key = cell_key(cell.fn, cell.params)
             entry = journal.get(key)
             if entry is None:
-                problems.append(Violation(
-                    "sweep-journal", "sweep",
-                    f"cell {cell.key!r}: completed but not journalled",
-                ))
+                missing += 1
+                if broken is None:
+                    problems.append(Violation(
+                        "sweep-journal", "sweep",
+                        f"cell {cell.key!r}: completed but not journalled",
+                    ))
             elif not entry.matches(payload):
                 problems.append(Violation(
                     "sweep-journal", "sweep",
@@ -276,6 +297,13 @@ def validate_sweep(
                     f"does not match payload digest "
                     f"{payload_digest(payload)[:12]}…",
                 ))
+        if broken is not None and missing > 0 and stats.storage_degraded == 0:
+            problems.append(Violation(
+                "sweep-journal", "sweep",
+                f"journal broke ({type(broken).__name__}) and {missing} "
+                f"completion(s) are unjournalled, but stats claim zero "
+                f"storage degradation",
+            ))
 
     # 4. Report footer: determinism-sanitizer findings, if a detector
     #    observed the in-process runs around this sweep.
@@ -681,3 +709,50 @@ def _check_fault_invariants(out: RunOutput) -> List[str]:
                 f"ended in state {state}",
             ))
     return problems
+
+
+def validate_torture(reports, budget: int = 0) -> List[str]:
+    """Check a storage-torture campaign's verdict and its coverage.
+
+    *reports* is the :func:`repro.storage.protocols.run_torture`
+    output.  Two kinds of violations:
+
+    * ``torture-invariant`` — a protocol's recovery invariant failed
+      in some crash/fault state (one violation per failed state
+      message, capped at 20 per protocol to keep renderings bounded).
+    * ``torture-coverage`` — the campaign claims a clean bill for all
+      five protocols but exercised fewer than
+      :data:`TORTURE_STATE_FLOOR` distinct states; a "clean" verdict
+      from a too-small campaign is not evidence.  Waived when the
+      caller explicitly capped the per-protocol *budget* below 40
+      states (smoke runs are allowed to be small, they are just not
+      allowed to claim full coverage).
+    """
+    from repro.storage.protocols import PROTOCOL_NAMES
+
+    problems: List[str] = []
+    for report in reports:
+        for message in report.violations[:20]:
+            problems.append(Violation(
+                "torture-invariant", "storage",
+                f"{message}",
+            ))
+        overflow = len(report.violations) - 20
+        if overflow > 0:
+            problems.append(Violation(
+                "torture-invariant", "storage",
+                f"{report.protocol}: {overflow} further violation(s) "
+                f"elided",
+            ))
+    covered = {report.protocol for report in reports}
+    total = sum(report.states for report in reports)
+    floor_applies = covered == set(PROTOCOL_NAMES) and (
+        budget == 0 or budget >= 40
+    )
+    if floor_applies and total < TORTURE_STATE_FLOOR:
+        problems.append(Violation(
+            "torture-coverage", "storage",
+            f"full campaign exercised only {total} distinct states "
+            f"(floor: {TORTURE_STATE_FLOOR}) — enumeration shrank",
+        ))
+    return _ordered(problems)

@@ -111,3 +111,34 @@ class TestCommands:
         assert main(["tables"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out and "Table 3" in out and "Table 4" in out
+
+
+class TestTortureCommand:
+    def test_single_protocol_clean(self, tmp_path, capsys):
+        assert main([
+            "torture", "--protocol", "checkpoint", "--budget", "20",
+            "--dir", str(tmp_path / "scratch"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint:" in out and "torture: clean" in out
+
+    def test_mutation_self_test_caught(self, tmp_path, capsys):
+        assert main([
+            "torture", "--protocol", "status", "--budget", "40",
+            "--mutate", "drop-fsync", "--dir", str(tmp_path / "scratch"),
+        ]) == 0
+        assert "mutant drop-fsync caught" in capsys.readouterr().out
+
+    def test_output_has_no_scratch_paths(self, tmp_path, capsys):
+        scratch = tmp_path / "scratch"
+        assert main([
+            "torture", "--protocol", "cache", "--budget", "15",
+            "--dir", str(scratch),
+        ]) == 0
+        # deterministic stdout: same seed must print identical bytes
+        # regardless of where the scratch directory lives
+        assert str(scratch) not in capsys.readouterr().out
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["torture", "--protocol", "nonsense"])

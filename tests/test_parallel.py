@@ -510,6 +510,59 @@ class TestSweepJournal:
         assert not path.exists()
 
 
+class TestJournalStorageDegradation:
+    """A broken journal degrades the sweep honestly, never wrongly."""
+
+    def _broken_journal_run(self, tmp_path, nth):
+        from repro.storage.layer import StorageLayer
+        from repro.storage.plan import FailPlan
+
+        cells = _echo_cells(5)
+        cache = ResultCache(tmp_path / "cache")
+        storage = StorageLayer(plan=FailPlan.single("fsync", nth=nth))
+        journal = SweepJournal(tmp_path / "j.jsonl", storage=storage)
+        runner = SweepRunner(cache=cache, journal=journal)
+        payloads = runner.run_serialized(cells)
+        return cells, runner, journal, payloads
+
+    def test_results_correct_despite_broken_journal(self, tmp_path):
+        cells, runner, journal, payloads = self._broken_journal_run(
+            tmp_path, nth=3
+        )
+        assert payloads == SweepRunner().run_serialized(cells)
+        assert journal.broken is not None
+
+    def test_degradation_counted_in_stats(self, tmp_path):
+        _, runner, _, _ = self._broken_journal_run(tmp_path, nth=3)
+        # 2 journalled before the break; the other 3 degraded
+        assert runner.last_stats.storage_degraded == 3
+        assert "unjournaled (storage)" in runner.last_stats.summary_line()
+
+    def test_degraded_sweep_validates_clean(self, tmp_path):
+        cells, runner, _, payloads = self._broken_journal_run(
+            tmp_path, nth=3
+        )
+        assert validate_sweep(runner, cells, payloads) == []
+
+    def test_dishonest_degradation_is_a_violation(self, tmp_path):
+        cells, runner, _, payloads = self._broken_journal_run(
+            tmp_path, nth=3
+        )
+        runner.last_stats.storage_degraded = 0  # lie about the break
+        problems = validate_sweep(runner, cells, payloads)
+        assert any("storage degradation" in p for p in problems)
+
+    def test_journalled_prefix_still_resumable(self, tmp_path):
+        cells, _, _, fresh = self._broken_journal_run(tmp_path, nth=3)
+        cache = ResultCache(tmp_path / "cache")
+        journal = SweepJournal(tmp_path / "j.jsonl", resume=True)
+        assert len(journal) == 2
+        runner = SweepRunner(cache=cache, journal=journal)
+        again = runner.run_serialized(cells)
+        assert again == fresh
+        assert runner.last_stats.resumed == 2
+
+
 class TestValidateSweep:
     def test_clean_sweep_validates(self, tmp_path):
         cells = _echo_cells(3)

@@ -582,3 +582,60 @@ class TestServeService:
         wrong = tmp_path / "wrong.json"
         wrong.write_text('{"v": 999}')
         assert read_status(wrong) is None
+
+
+class TestServeStorageFailures:
+    """Storage faults hit the running service (the wired fail-points)."""
+
+    def test_journal_break_drains_with_exit_storage(self, tmp_path):
+        from repro.serve.service import EXIT_STORAGE
+        from repro.storage.layer import StorageLayer
+        from repro.storage.plan import FailPlan
+
+        session = make_session(max_jobs=25)
+        status = tmp_path / "status.json"
+        # the 5th journal fsync fails: fsyncgate, journal breaks
+        storage = StorageLayer(plan=FailPlan.single(
+            "fsync", nth=5, path_glob="j.jsonl"
+        ))
+        service = ServeService(
+            session, journal_path=tmp_path / "j.jsonl",
+            status_path=status, storage=storage,
+        )
+        assert service.run(handle_signals=False) == EXIT_STORAGE
+        assert service.journal.broken is not None
+        # admitted work was drained, not abandoned
+        assert session.complete
+        final = read_status(status)
+        assert final["phase"] == "storage"
+        assert final["journal_broken"] is True
+        # journalled prefix on disk is intact and loads cleanly
+        recovered = ArrivalJournal(tmp_path / "j.jsonl", resume=True)
+        assert sorted(recovered.entries) == list(
+            range(1, len(recovered.entries) + 1)
+        )
+
+    def test_status_write_failures_survived_and_counted(self, tmp_path):
+        from repro.storage.layer import StorageLayer
+        from repro.storage.plan import FailPlan
+        from repro.storage.plan import FailRule
+
+        session = make_session(max_jobs=15)
+        status = tmp_path / "status.json"
+        # every status write fails; the service must still drain clean
+        storage = StorageLayer(plan=FailPlan([FailRule(
+            "write", nth=1, persistent=True, path_glob="*.json.tmp"
+        )]))
+        service = ServeService(session, status_path=status, storage=storage)
+        assert service.run(handle_signals=False) == 0
+        assert session.complete
+        assert service.storage_errors > 0
+        assert read_status(status) is None  # never published garbage
+
+    def test_storage_errors_in_status_payload(self, tmp_path):
+        session = make_session(max_jobs=5)
+        service = ServeService(session, status_path=tmp_path / "s.json")
+        assert service.run(handle_signals=False) == 0
+        final = read_status(tmp_path / "s.json")
+        assert final["storage_errors"] == 0
+        assert final["journal_broken"] is False
